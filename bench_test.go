@@ -1,0 +1,329 @@
+package repro
+
+// Benchmark harness: one benchmark per paper table plus ablation benches
+// for the design decisions DESIGN.md calls out. Each benchmark
+// regenerates its table's data and reports the headline quantities as
+// custom metrics, so `go test -bench=.` reproduces the evaluation.
+//
+// Benchmarks use moderate ruleset sizes so a full -bench=. pass stays
+// tractable on one core; cmd/pctables runs the paper's full sizes.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/classbench"
+	"repro/internal/core"
+	"repro/internal/hicuts"
+	"repro/internal/hwsim"
+	"repro/internal/hypercuts"
+	"repro/internal/rfc"
+	"repro/internal/sa1100"
+	"repro/internal/tcam"
+)
+
+func benchOpts() bench.Options {
+	return bench.Options{
+		Seed:         2008,
+		Sizes:        []int{60, 500, 2191},
+		Table4Sizes:  []int{300, 2500},
+		TracePackets: 8000,
+	}
+}
+
+func acl1Rows(b *testing.B) []bench.ACL1Row {
+	b.Helper()
+	rows, err := bench.RunACL1(benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rows
+}
+
+// BenchmarkTable2 regenerates the search-structure memory comparison.
+func BenchmarkTable2_Memory(b *testing.B) {
+	var rows []bench.ACL1Row
+	for i := 0; i < b.N; i++ {
+		rows = acl1Rows(b)
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.SWHiCutsMem), "swHiCutsBytes")
+	b.ReportMetric(float64(last.HWHiCutsMem), "hwHiCutsBytes")
+	b.ReportMetric(float64(last.HWHyperMem), "hwHyperCutsBytes")
+}
+
+// BenchmarkTable3 regenerates the build-energy comparison.
+func BenchmarkTable3_BuildEnergy(b *testing.B) {
+	var rows []bench.ACL1Row
+	for i := 0; i < b.N; i++ {
+		rows = acl1Rows(b)
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.SWHiCutsBuildJ, "swHiCutsJ")
+	b.ReportMetric(last.HWHiCutsBuildJ, "hwHiCutsJ")
+	b.ReportMetric(last.SWHiCutsBuildJ/last.HWHiCutsBuildJ, "ratio")
+}
+
+// BenchmarkTable4 regenerates hardware memory/cycles for all profiles.
+func BenchmarkTable4_ProfilesMemoryCycles(b *testing.B) {
+	var rows []bench.Table4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RunTable4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Profile == "fw1" && r.N == 2500 {
+			b.ReportMetric(float64(r.HiCutsMem), "fw1HiCutsBytes")
+			b.ReportMetric(float64(r.HiCutsCycles), "fw1HiCutsCycles")
+		}
+	}
+}
+
+// BenchmarkTable5 exercises the normalization arithmetic.
+func BenchmarkTable5_DeviceComparison(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = bench.Table5().Format()
+	}
+	b.ReportMetric(float64(len(s)), "tableBytes")
+}
+
+// BenchmarkTable6 regenerates per-packet energy.
+func BenchmarkTable6_EnergyPerPacket(b *testing.B) {
+	var rows []bench.ACL1Row
+	for i := 0; i < b.N; i++ {
+		rows = acl1Rows(b)
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.SWHiCutsEnergyJ, "swHiCutsJperPkt")
+	b.ReportMetric(last.ASICHyperEnergyJ, "asicHyperJperPkt")
+	b.ReportMetric(last.SWHiCutsEnergyJ/last.ASICHyperEnergyJ, "savingX")
+}
+
+// BenchmarkTable7 regenerates throughput.
+func BenchmarkTable7_Throughput(b *testing.B) {
+	var rows []bench.ACL1Row
+	for i := 0; i < b.N; i++ {
+		rows = acl1Rows(b)
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.SWHiCutsPPS, "swHiCutsPPS")
+	b.ReportMetric(last.ASICHyperPPS, "asicHyperPPS")
+	b.ReportMetric(last.FPGAHyperPPS, "fpgaHyperPPS")
+}
+
+// BenchmarkTable8 regenerates worst-case memory accesses.
+func BenchmarkTable8_WorstCaseAccesses(b *testing.B) {
+	var rows []bench.ACL1Row
+	for i := 0; i < b.N; i++ {
+		rows = acl1Rows(b)
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.SWHiCutsWorst), "swHiCutsAccesses")
+	b.ReportMetric(float64(last.HWHiCutsWorst), "hwHiCutsAccesses")
+	b.ReportMetric(float64(last.HWHyperWorst), "hwHyperAccesses")
+}
+
+// BenchmarkClaims reproduces the §5.2/§5.3 headline ratios.
+func BenchmarkClaims_HeadlineRatios(b *testing.B) {
+	opts := benchOpts()
+	opts.Sizes = []int{1500}
+	var cl bench.Claims
+	for i := 0; i < b.N; i++ {
+		var err error
+		cl, err = bench.RunClaims(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cl.ThroughputVsRFC, "vsRFCx")
+	b.ReportMetric(cl.ThroughputVsHiCuts, "vsHiCutsX")
+	b.ReportMetric(cl.EnergySavingVsHiCuts, "energySavingX")
+}
+
+// BenchmarkFigures13 builds the didactic decision trees of Figures 1-3
+// (the paper's Table 1 ruleset with binth 3) using the original software
+// algorithms.
+func BenchmarkFigures13_ExampleTrees(b *testing.B) {
+	rs := classbench.Generate(classbench.ACL1(), 10, 1)
+	var depthHi, depthHy int
+	for i := 0; i < b.N; i++ {
+		hi, err := hicuts.Build(rs, hicuts.Config{Binth: 3, Spfac: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hy, err := hypercuts.Build(rs, hypercuts.Config{Binth: 3, Spfac: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		depthHi, depthHy = hi.Depth(), hy.Depth()
+	}
+	b.ReportMetric(float64(depthHi), "hicutsDepth")
+	b.ReportMetric(float64(depthHy), "hypercutsDepth")
+}
+
+// ---- Ablation benches (DESIGN.md §5) ----
+
+// BenchmarkAblationCutStart compares the 32-cut starting point of the
+// modified algorithms against the original 2-cut start (the paper's §3
+// claim: "32 cuts is a much better starting position than 2").
+func BenchmarkAblationCutStart(b *testing.B) {
+	rs := classbench.Generate(classbench.ACL1(), 1000, 2008)
+	var ev2, ev32, mem2, mem32 float64
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(core.HiCuts)
+		cfg.StartCuts = 2
+		t2, err := core.Build(rs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t32, err := core.Build(rs, core.DefaultConfig(core.HiCuts))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev2 = float64(sa1100.BuildCycles(sa1100.BuildWork{
+			CutEvaluations: t2.Stats().CutEvaluations, RuleChildOps: t2.Stats().RuleChildOps,
+			RulePushes: t2.Stats().RulePushes, Nodes: t2.Stats().Nodes, Rules: 1000}))
+		ev32 = float64(sa1100.BuildCycles(sa1100.BuildWork{
+			CutEvaluations: t32.Stats().CutEvaluations, RuleChildOps: t32.Stats().RuleChildOps,
+			RulePushes: t32.Stats().RulePushes, Nodes: t32.Stats().Nodes, Rules: 1000}))
+		mem2, mem32 = float64(t2.MemoryBytes()), float64(t32.MemoryBytes())
+	}
+	b.ReportMetric(ev2/ev32, "buildCyclesRatio2vs32")
+	b.ReportMetric(mem32/mem2, "memRatio32vs2")
+}
+
+// BenchmarkAblationSpeed compares speed 0 vs speed 1 (Eqs. 5-7): storage
+// efficiency against average cycles per packet.
+func BenchmarkAblationSpeed(b *testing.B) {
+	rs := classbench.Generate(classbench.ACL1(), 1500, 2008)
+	trace := classbench.GenerateTrace(rs, 8000, 2009)
+	var words0, words1, cyc0, cyc1 float64
+	for i := 0; i < b.N; i++ {
+		for _, speed := range []int{0, 1} {
+			cfg := core.DefaultConfig(core.HyperCuts)
+			cfg.Speed = speed
+			tr, err := core.Build(rs, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			img, err := tr.Encode()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim, err := hwsim.New(img, hwsim.ASIC)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, st := sim.Run(trace)
+			if speed == 0 {
+				words0, cyc0 = float64(tr.Words()), st.AvgCyclesPerPacket
+			} else {
+				words1, cyc1 = float64(tr.Words()), st.AvgCyclesPerPacket
+			}
+		}
+	}
+	b.ReportMetric(words0, "speed0Words")
+	b.ReportMetric(words1, "speed1Words")
+	b.ReportMetric(cyc0, "speed0CycPerPkt")
+	b.ReportMetric(cyc1, "speed1CycPerPkt")
+}
+
+// BenchmarkAblationLeafRules compares rules-in-leaf against the
+// pointer-based design the paper rejects (§3: one extra cycle per packet
+// for a small memory saving).
+func BenchmarkAblationLeafRules(b *testing.B) {
+	rs := classbench.Generate(classbench.ACL1(), 1500, 2008)
+	var wcRules, wcPtrs, memRules, memPtrs float64
+	for i := 0; i < b.N; i++ {
+		tr, err := core.Build(rs, core.DefaultConfig(core.HyperCuts))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfgP := core.DefaultConfig(core.HyperCuts)
+		cfgP.LeafPointers = true
+		tp, err := core.Build(rs, cfgP)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wcRules, wcPtrs = float64(tr.WorstCaseCycles()), float64(tp.WorstCaseCycles())
+		memRules, memPtrs = float64(tr.MemoryBytes()), float64(tp.MemoryBytes())
+	}
+	b.ReportMetric(wcRules, "rulesInLeafWorstCyc")
+	b.ReportMetric(wcPtrs, "pointerLeafWorstCyc")
+	b.ReportMetric(memRules/memPtrs, "memRatio")
+}
+
+// BenchmarkAblationOverlap quantifies the root-in-register pipelining: the
+// overlap hides one cycle per packet (paper §4).
+func BenchmarkAblationOverlap(b *testing.B) {
+	rs := classbench.Generate(classbench.ACL1(), 800, 2008)
+	trace := classbench.GenerateTrace(rs, 8000, 2009)
+	tr, err := core.Build(rs, core.DefaultConfig(core.HyperCuts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := tr.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := hwsim.New(img, hwsim.ASIC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var withOverlap, withoutOverlap float64
+	for i := 0; i < b.N; i++ {
+		var latSum int64
+		_, st := sim.Run(trace)
+		for _, p := range trace {
+			latSum += int64(sim.ClassifyOne(p).LatencyCycles)
+		}
+		withOverlap = st.AvgCyclesPerPacket
+		withoutOverlap = float64(latSum) / float64(len(trace))
+	}
+	b.ReportMetric(withOverlap, "cycPerPktOverlap")
+	b.ReportMetric(withoutOverlap, "cycPerPktNoOverlap")
+}
+
+// BenchmarkRFCPreprocess measures the RFC baseline's build cost.
+func BenchmarkRFCPreprocess(b *testing.B) {
+	rs := classbench.Generate(classbench.ACL1(), 500, 2008)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rfc.Build(rs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCAMExpansion measures range-to-prefix expansion cost and
+// reports the storage efficiency of §1's discussion.
+func BenchmarkTCAMExpansion(b *testing.B) {
+	rs := classbench.Generate(classbench.FW1(), 1000, 2008)
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		_, st, err := tcam.Build(rs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eff = st.Efficiency
+	}
+	b.ReportMetric(eff*100, "efficiencyPct")
+}
+
+// BenchmarkAcceleratorLookup measures the Go-level speed of the simulator
+// itself (not a paper number; useful for harness regressions).
+func BenchmarkAcceleratorLookup(b *testing.B) {
+	rs := classbench.Generate(classbench.ACL1(), 1000, 2008)
+	acc, err := BuildAccelerator(rs, Config{Algorithm: HyperCuts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := GenerateTrace(rs, 1024, 2010)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.Classify(trace[i&1023])
+	}
+}

@@ -1,0 +1,84 @@
+// Command pcgen generates ClassBench-style synthetic rulesets and packet
+// traces in the standard filter-set format.
+//
+// Usage:
+//
+//	pcgen -profile acl1 -n 2191 -seed 2008 -o rules.txt
+//	pcgen -profile fw1 -n 1000 -trace 50000 -traceout trace.txt
+//
+// The ruleset is written in ClassBench format (one '@'-prefixed filter
+// per line); the trace as one "srcIP dstIP srcPort dstPort proto" tuple
+// of decimal values per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/classbench"
+	"repro/internal/rule"
+)
+
+func main() {
+	var (
+		profile  = flag.String("profile", "acl1", "ruleset profile: acl1, fw1 or ipc1")
+		n        = flag.Int("n", 1000, "number of rules")
+		seed     = flag.Int64("seed", 2008, "generation seed")
+		out      = flag.String("o", "-", "ruleset output file (- = stdout)")
+		traceN   = flag.Int("trace", 0, "also generate a packet trace of this length")
+		traceOut = flag.String("traceout", "-", "trace output file (- = stdout)")
+	)
+	flag.Parse()
+
+	if err := run(*profile, *n, *seed, *out, *traceN, *traceOut); err != nil {
+		fmt.Fprintln(os.Stderr, "pcgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile string, n int, seed int64, out string, traceN int, traceOut string) error {
+	p, err := classbench.ProfileByName(profile)
+	if err != nil {
+		return err
+	}
+	rs := classbench.Generate(p, n, seed)
+
+	w, closeW, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	if err := rule.WriteSet(w, rs); err != nil {
+		closeW()
+		return err
+	}
+	if err := closeW(); err != nil {
+		return err
+	}
+
+	if traceN > 0 {
+		trace := classbench.GenerateTrace(rs, traceN, seed+1)
+		tw, closeT, err := openOut(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rule.WriteTrace(tw, trace); err != nil {
+			closeT()
+			return err
+		}
+		return closeT()
+	}
+	return nil
+}
+
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}

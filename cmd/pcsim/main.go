@@ -1,0 +1,145 @@
+// Command pcsim builds the modified search structure for a ruleset and
+// runs a packet trace through the cycle-accurate accelerator simulator,
+// reporting memory, worst-case cycles, throughput and energy.
+//
+// Usage:
+//
+//	pcsim -rules rules.txt -tracefile trace.txt -algo hypercuts -device asic
+//	pcsim -profile acl1 -n 2191 -trace 20000        # synthetic inputs
+//
+// Ruleset files are in ClassBench format (see cmd/pcgen); trace files hold
+// one "srcIP dstIP srcPort dstPort proto" decimal tuple per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/hwsim"
+	"repro/internal/rule"
+)
+
+func main() {
+	var (
+		rulesFile = flag.String("rules", "", "ClassBench ruleset file (overrides -profile)")
+		traceFile = flag.String("tracefile", "", "packet trace file (overrides -trace)")
+		profile   = flag.String("profile", "acl1", "synthetic profile when no -rules given")
+		n         = flag.Int("n", 1000, "synthetic ruleset size")
+		traceN    = flag.Int("trace", 20000, "synthetic trace length")
+		seed      = flag.Int64("seed", 2008, "generation seed")
+		algo      = flag.String("algo", "hypercuts", "hicuts or hypercuts")
+		device    = flag.String("device", "asic", "asic or fpga")
+		speed     = flag.Int("speed", 1, "speed parameter (0 or 1)")
+		spfac     = flag.Int("spfac", 4, "space factor")
+		binth     = flag.Int("binth", 120, "leaf threshold")
+	)
+	flag.Parse()
+
+	if err := run(*rulesFile, *traceFile, *profile, *n, *traceN, *seed, *algo, *device, *speed, *spfac, *binth); err != nil {
+		fmt.Fprintln(os.Stderr, "pcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rulesFile, traceFile, profile string, n, traceN int, seed int64, algo, device string, speed, spfac, binth int) error {
+	// Inputs.
+	var rs rule.RuleSet
+	if rulesFile != "" {
+		f, err := os.Open(rulesFile)
+		if err != nil {
+			return err
+		}
+		rs, err = rule.ReadSet(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		p, err := classbench.ProfileByName(profile)
+		if err != nil {
+			return err
+		}
+		rs = classbench.Generate(p, n, seed)
+	}
+
+	var trace []rule.Packet
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		trace, err = rule.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		trace = classbench.GenerateTrace(rs, traceN, seed+1)
+	}
+
+	// Build.
+	var a core.Algorithm
+	switch algo {
+	case "hicuts":
+		a = core.HiCuts
+	case "hypercuts":
+		a = core.HyperCuts
+	default:
+		return fmt.Errorf("unknown -algo %q", algo)
+	}
+	cfg := core.DefaultConfig(a)
+	cfg.Speed = speed
+	cfg.Spfac = spfac
+	cfg.Binth = binth
+	tree, err := core.Build(rs, cfg)
+	if err != nil {
+		return err
+	}
+
+	var dev hwsim.Device
+	switch device {
+	case "asic":
+		dev = hwsim.ASIC
+	case "fpga":
+		dev = hwsim.FPGA
+	default:
+		return fmt.Errorf("unknown -device %q", device)
+	}
+
+	fmt.Printf("ruleset: %d rules; algorithm: %v; binth=%d spfac=%d speed=%d\n",
+		len(rs), a, cfg.Binth, cfg.Spfac, cfg.Speed)
+	fmt.Printf("search structure: %d words = %d bytes (device capacity %d bytes), depth %d\n",
+		tree.Words(), tree.MemoryBytes(), core.DeviceBytes, tree.Depth())
+	fmt.Printf("worst-case cycles/memory accesses per packet: %d\n", tree.WorstCaseCycles())
+	fmt.Printf("guaranteed throughput on %s: %.0f pps (line rate: %s)\n",
+		dev.Name, hwsim.WorstCaseThroughputPPS(dev, tree.WorstCaseCycles()),
+		energy.HighestLine(hwsim.WorstCaseThroughputPPS(dev, tree.WorstCaseCycles())))
+
+	if !tree.FitsDevice() {
+		fmt.Printf("NOTE: structure exceeds the 1024-word device; simulation skipped.\n")
+		fmt.Printf("      (the paper suggests doubling memory words or reducing spfac)\n")
+		return nil
+	}
+	img, err := tree.Encode()
+	if err != nil {
+		return err
+	}
+	sim, err := hwsim.New(img, dev)
+	if err != nil {
+		return err
+	}
+	_, st := sim.Run(trace)
+	fmt.Printf("trace: %d packets, %d matched (%.1f%%)\n",
+		st.Packets, st.Matched, 100*float64(st.Matched)/float64(st.Packets))
+	fmt.Printf("cycles: %d total, %.3f per packet sustained, worst observed latency %d\n",
+		st.Cycles, st.AvgCyclesPerPacket, st.WorstLatency)
+	fmt.Printf("throughput: %.0f pps at %.0f MHz (%s)\n",
+		st.PacketsPerSecond, dev.FreqHz/1e6, energy.HighestLine(st.PacketsPerSecond))
+	fmt.Printf("energy: %.3e J/packet (normalized %.2f mW average power)\n",
+		st.EnergyPerPacketJ, dev.PowerW*1000)
+	return nil
+}

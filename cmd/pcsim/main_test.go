@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/rule"
+)
+
+func TestRunSyntheticEndToEnd(t *testing.T) {
+	// Synthetic inputs through the whole pipeline on both devices.
+	for _, device := range []string{"asic", "fpga"} {
+		if err := run("", "", "acl1", 300, 2000, 7, "hypercuts", device, 1, 4, 120); err != nil {
+			t.Fatalf("%s: %v", device, err)
+		}
+	}
+}
+
+func TestRunFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	rulesPath := filepath.Join(dir, "rules.txt")
+	tracePath := filepath.Join(dir, "trace.txt")
+
+	rs := classbench.Generate(classbench.IPC1(), 150, 9)
+	rf, err := os.Create(rulesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rule.WriteSet(rf, rs); err != nil {
+		t.Fatal(err)
+	}
+	rf.Close()
+
+	trace := classbench.GenerateTrace(rs, 500, 10)
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rule.WriteTrace(tf, trace); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+
+	if err := run(rulesPath, tracePath, "", 0, 0, 0, "hicuts", "asic", 0, 4, 120); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", "acl1", 50, 100, 1, "bogus", "asic", 1, 4, 120); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run("", "", "acl1", 50, 100, 1, "hicuts", "bogus", 1, 4, 120); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if err := run("/does/not/exist", "", "", 0, 0, 0, "hicuts", "asic", 1, 4, 120); err == nil {
+		t.Error("missing rules file accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleBuildAccelerator shows the minimal end-to-end flow: generate a
+// ruleset, build the accelerator's search structure, classify a packet.
+func ExampleBuildAccelerator() {
+	rules, err := repro.GenerateRuleset("acl1", 500, 2008)
+	if err != nil {
+		panic(err)
+	}
+	acc, err := repro.BuildAccelerator(rules, repro.Config{Algorithm: repro.HyperCuts})
+	if err != nil {
+		panic(err)
+	}
+
+	trace := repro.GenerateTrace(rules, 1, 2009)
+	match, latency, reads := acc.ClassifyDetailed(trace[0])
+	fmt.Println("match == linear:", match == rules.Match(trace[0]))
+	fmt.Println("latency == reads+1:", latency == reads+1)
+	fmt.Println("worst case within device bound:", acc.WorstCaseCycles() >= 2 && acc.WorstCaseCycles() <= 20)
+	// Output:
+	// match == linear: true
+	// latency == reads+1: true
+	// worst case within device bound: true
+}
+
+// ExampleAccelerator_GuaranteedPPS shows the worst-case throughput
+// guarantee the paper derives from worst-case cycles (§5.2).
+func ExampleAccelerator_GuaranteedPPS() {
+	rules, err := repro.GenerateRuleset("acl1", 100, 1)
+	if err != nil {
+		panic(err)
+	}
+	acc, err := repro.BuildAccelerator(rules, repro.Config{Algorithm: repro.HiCuts})
+	if err != nil {
+		panic(err)
+	}
+	// The ASIC runs at 226 MHz; the guarantee is freq/(worst-1).
+	fmt.Println(acc.GuaranteedPPS() >= 226e6/float64(acc.WorstCaseCycles()-1))
+	// Output:
+	// true
+}
+
+// ExampleNewSoftwareBaseline compares the accelerator to the paper's
+// software platform on the same workload.
+func ExampleNewSoftwareBaseline() {
+	rules, err := repro.GenerateRuleset("ipc1", 300, 3)
+	if err != nil {
+		panic(err)
+	}
+	sw, err := repro.NewSoftwareBaseline("hicuts", rules)
+	if err != nil {
+		panic(err)
+	}
+	acc, err := repro.BuildAccelerator(rules, repro.Config{})
+	if err != nil {
+		panic(err)
+	}
+	trace := repro.GenerateTrace(rules, 3000, 4)
+	swStats := sw.Measure(trace)
+	_, hwStats := acc.Run(trace)
+	fmt.Println("hardware beats software by >100x:",
+		hwStats.PacketsPerSecond > 100*swStats.PacketsPerSecond)
+	fmt.Println("hardware energy lower by >100x:",
+		hwStats.EnergyPerPacketJ*100 < swStats.EnergyPerPacketJ)
+	// Output:
+	// hardware beats software by >100x: true
+	// hardware energy lower by >100x: true
+}

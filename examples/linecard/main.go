@@ -1,0 +1,65 @@
+// Linecard example: can the classifier keep up with the wire? The paper's
+// motivation (§1) is that OC-192 (31.25 Mpps worst case) and OC-768
+// (125 Mpps) line rates outrun software classifiers by orders of
+// magnitude. This example checks, for each implementation, the highest
+// SONET line it sustains under worst-case minimum-size packets.
+//
+// Run with:
+//
+//	go run ./examples/linecard
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/hicuts"
+	"repro/internal/hwsim"
+	"repro/internal/sa1100"
+)
+
+func main() {
+	rules := classbench.Generate(classbench.ACL1(), 2191, 2008)
+	trace := classbench.GenerateTrace(rules, 20000, 2009)
+
+	fmt.Printf("workload: acl1, %d rules; line-rate targets: OC-192 = %.2f Mpps, OC-768 = %.2f Mpps\n\n",
+		len(rules), energy.OC192.WorstCasePPS()/1e6, energy.OC768.WorstCasePPS()/1e6)
+
+	// Software on the StrongARM SA-1100 (paper's software platform).
+	sw, err := hicuts.Build(rules, hicuts.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	swStats := sa1100.MeasureClassification(sw, trace, sa1100.DefaultCosts())
+	report("HiCuts software on SA-1100 @200MHz", swStats.PacketsPerSecond)
+
+	// Hardware accelerator, FPGA and ASIC.
+	tree, err := core.Build(rules, core.DefaultConfig(core.HyperCuts))
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, err := tree.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, dev := range []hwsim.Device{hwsim.FPGA, hwsim.ASIC} {
+		sim, err := hwsim.New(img, dev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, st := sim.Run(trace)
+		report(fmt.Sprintf("accelerator on %s @%.0fMHz (observed)", dev.Name, dev.FreqHz/1e6), st.PacketsPerSecond)
+		guaranteed := hwsim.WorstCaseThroughputPPS(dev, tree.WorstCaseCycles())
+		report(fmt.Sprintf("accelerator on %s (worst-case guarantee)", dev.Name), guaranteed)
+	}
+
+	fmt.Println("\nthe paper's conclusion: the FPGA exceeds OC-192 and the ASIC exceeds")
+	fmt.Println("OC-768, while software peaks thousands of times below either line.")
+}
+
+func report(name string, pps float64) {
+	fmt.Printf("%-55s %12.0f pps -> %s\n", name, pps, energy.HighestLine(pps))
+}

@@ -1,0 +1,219 @@
+package repro
+
+// Cross-implementation integration tests: every classifier in the
+// repository must agree with the linear-search reference on identical
+// workloads, across profiles, algorithms, speeds and devices.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+	"repro/internal/hicuts"
+	"repro/internal/hwsim"
+	"repro/internal/hypercuts"
+	"repro/internal/linear"
+	"repro/internal/rfc"
+	"repro/internal/rule"
+	"repro/internal/tcam"
+)
+
+// classifier is the minimal surface shared by every implementation.
+type classifier struct {
+	name string
+	fn   func(rule.Packet) int
+}
+
+func allClassifiers(t *testing.T, rs rule.RuleSet) []classifier {
+	t.Helper()
+	var cs []classifier
+
+	swHi, err := hicuts.Build(rs, hicuts.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs = append(cs, classifier{"software-hicuts", swHi.Classify})
+
+	swHy, err := hypercuts.Build(rs, hypercuts.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs = append(cs, classifier{"software-hypercuts", swHy.Classify})
+
+	for _, algo := range []core.Algorithm{core.HiCuts, core.HyperCuts} {
+		for _, speed := range []int{0, 1} {
+			cfg := core.DefaultConfig(algo)
+			cfg.Speed = speed
+			tree, err := core.Build(rs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs = append(cs, classifier{"core-" + algo.String(), tree.Classify})
+			img, err := tree.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := hwsim.New(img, hwsim.ASIC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs = append(cs, classifier{"hwsim-" + algo.String(), func(p rule.Packet) int {
+				return sim.ClassifyOne(p).Match
+			}})
+		}
+	}
+
+	rfcC, _, err := rfc.Build(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs = append(cs, classifier{"rfc", rfcC.Classify})
+
+	tc, _, err := tcam.Build(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs = append(cs, classifier{"tcam", tc.Classify})
+
+	return cs
+}
+
+func TestAllClassifiersAgree(t *testing.T) {
+	for _, prof := range []classbench.Profile{classbench.ACL1(), classbench.FW1(), classbench.IPC1()} {
+		rs := classbench.Generate(prof, 250, 2024)
+		ref := linear.New(rs)
+		cs := allClassifiers(t, rs)
+		trace := classbench.GenerateTrace(rs, 2500, 2025)
+		for i, p := range trace {
+			want := ref.Classify(p)
+			for _, c := range cs {
+				if got := c.fn(p); got != want {
+					t.Fatalf("%s/%s packet %d: got %d want %d", prof.Name, c.name, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAllClassifiersAgreeOnAdversarialPackets(t *testing.T) {
+	// Rule-boundary packets: corners of every rule's hyper-rectangle are
+	// where off-by-one errors live.
+	rs := classbench.Generate(classbench.IPC1(), 200, 2026)
+	ref := linear.New(rs)
+	cs := allClassifiers(t, rs)
+	for i := range rs {
+		for _, corner := range []bool{false, true} {
+			var p rule.Packet
+			pick := func(d int) uint32 {
+				if corner {
+					return rs[i].F[d].Hi
+				}
+				return rs[i].F[d].Lo
+			}
+			p.SrcIP = pick(rule.DimSrcIP)
+			p.DstIP = pick(rule.DimDstIP)
+			p.SrcPort = uint16(pick(rule.DimSrcPort))
+			p.DstPort = uint16(pick(rule.DimDstPort))
+			p.Proto = uint8(pick(rule.DimProto))
+			want := ref.Classify(p)
+			for _, c := range cs {
+				if got := c.fn(p); got != want {
+					t.Fatalf("rule %d corner=%v %s: got %d want %d", i, corner, c.name, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickRandomRulesetsAgree(t *testing.T) {
+	// Property: for arbitrary small random (but structurally valid)
+	// rulesets, the hardware pipeline agrees with linear search on
+	// arbitrary packets. This hits degenerate shapes the generator never
+	// produces (single-rule sets, all-wildcard sets, duplicate-ish
+	// rules).
+	f := func(seed int64, nRules uint8, sip, dip uint32, sp, dp uint16, pr uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRules%40) + 1
+		rs := make(rule.RuleSet, 0, n)
+		for i := 0; i < n; i++ {
+			loS := uint32(rng.Intn(65536))
+			hiS := loS + uint32(rng.Intn(int(65536-loS)))
+			loD := uint32(rng.Intn(65536))
+			hiD := loD + uint32(rng.Intn(int(65536-loD)))
+			rs = append(rs, rule.New(i,
+				rng.Uint32(), rng.Intn(33), rng.Uint32(), rng.Intn(33),
+				rule.Range{Lo: loS, Hi: hiS}, rule.Range{Lo: loD, Hi: hiD},
+				uint8(rng.Intn(256)), rng.Intn(4) == 0))
+		}
+		tree, err := core.Build(rs, core.DefaultConfig(core.HyperCuts))
+		if err != nil {
+			return false
+		}
+		img, err := tree.Encode()
+		if err != nil {
+			return false
+		}
+		sim, err := hwsim.New(img, hwsim.ASIC)
+		if err != nil {
+			return false
+		}
+		p := rule.Packet{SrcIP: sip, DstIP: dip, SrcPort: sp, DstPort: dp, Proto: pr}
+		if sim.ClassifyOne(p).Match != rs.Match(p) {
+			return false
+		}
+		// Also probe a packet inside a random rule.
+		r := &rs[rng.Intn(len(rs))]
+		inside := rule.Packet{
+			SrcIP:   r.F[rule.DimSrcIP].Lo,
+			DstIP:   r.F[rule.DimDstIP].Hi,
+			SrcPort: uint16(r.F[rule.DimSrcPort].Lo),
+			DstPort: uint16(r.F[rule.DimDstPort].Hi),
+			Proto:   uint8(r.F[rule.DimProto].Lo),
+		}
+		return sim.ClassifyOne(inside).Match == rs.Match(inside)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable1AcrossImplementations(t *testing.T) {
+	// The paper's didactic ruleset has non-prefix IP ranges, so it can
+	// run on the software trees (geometric) but not the hardware
+	// encoder; verify the software algorithms and the core logical tree
+	// all agree on it.
+	rs := classbench.Table1()
+	swHi, err := hicuts.Build(rs, hicuts.Config{Binth: 3, Spfac: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swHy, err := hypercuts.Build(rs, hypercuts.Config{Binth: 3, Spfac: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreHy, err := core.Build(rs, core.Config{Algorithm: core.HyperCuts, Binth: 3, Spfac: 4, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coreHy.Encode(); err == nil {
+		t.Error("Table 1 rules have non-prefix IP ranges; encoding should fail")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		p := rule.PacketFromBytes([rule.NumDims]uint8{
+			uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256)),
+			uint8(rng.Intn(256)), uint8(rng.Intn(256))})
+		want := rs.Match(p)
+		if got := swHi.Classify(p); got != want {
+			t.Fatalf("hicuts: %d vs %d", got, want)
+		}
+		if got := swHy.Classify(p); got != want {
+			t.Fatalf("hypercuts: %d vs %d", got, want)
+		}
+		if got := coreHy.Classify(p); got != want {
+			t.Fatalf("core: %d vs %d", got, want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/classbench"
+	"repro/internal/energy"
+	"repro/internal/tcam"
+)
+
+// This file turns measurement rows into paper-style formatted tables.
+
+// Table2 renders "Memory needed for the search structure and ruleset
+// (bytes), spfac=4, speed=1".
+func Table2(rows []ACL1Row) *Table {
+	t := &Table{
+		Title:  "Table 2: Memory for search structure and ruleset (bytes), spfac=4, speed=1",
+		Header: []string{"Rules", "SW HiCuts", "SW HyperCuts", "HW HiCuts", "HW HyperCuts"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			itoa(r.N), itoa(r.SWHiCutsMem), itoa(r.SWHyperMem), itoa(r.HWHiCutsMem), itoa(r.HWHyperMem),
+		})
+	}
+	return t
+}
+
+// Table3 renders "Energy used to build the search structure (Joules)".
+func Table3(rows []ACL1Row) *Table {
+	t := &Table{
+		Title:  "Table 3: Energy to build the search structure (Joules), spfac=4, speed=1",
+		Header: []string{"Rules", "SW HiCuts", "SW HyperCuts", "HW HiCuts", "HW HyperCuts"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			itoa(r.N), sci(r.SWHiCutsBuildJ), sci(r.SWHyperBuildJ), sci(r.HWHiCutsBuildJ), sci(r.HWHyperBuildJ),
+		})
+	}
+	return t
+}
+
+// Table4 renders "Memory consumption (bytes) and worst case clock cycles
+// per packet for ClassBench filter sets".
+func Table4(rows []Table4Row) *Table {
+	t := &Table{
+		Title:  "Table 4: Memory (bytes) and worst-case clock cycles, spfac=4, speed=1",
+		Header: []string{"Profile", "Rules", "HiCuts mem", "HiCuts cyc", "HyperCuts mem", "HyperCuts cyc"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Profile, itoa(r.N), itoa(r.HiCutsMem), itoa(r.HiCutsCycles), itoa(r.HyperMem), itoa(r.HyperCycles),
+		})
+	}
+	return t
+}
+
+// Table5 renders the device comparison.
+func Table5() *Table {
+	t := &Table{
+		Title:  "Table 5: Device comparison (normalized to 65nm, 1V via Eq. 8)",
+		Header: []string{"Device", "Process[nm]", "Voltage[V]", "Freq[MHz]", "Raw P[mW]", "Norm P[mW]", "Area"},
+	}
+	for _, d := range energy.Devices() {
+		area := "-"
+		if d.GateCount > 0 {
+			area = fmt.Sprintf("%d gates", d.GateCount)
+		}
+		if d.Slices > 0 {
+			area = fmt.Sprintf("%d slices, %d BRAM", d.Slices, d.BlockRAMs)
+		}
+		t.Rows = append(t.Rows, []string{
+			d.Name,
+			f0(d.ProcessNm),
+			fmt.Sprintf("%.2f", d.VoltageV),
+			f0(d.FreqHz / 1e6),
+			fmt.Sprintf("%.2f", d.RawPowerW*1000),
+			fmt.Sprintf("%.2f", d.NormalizedPowerW()*1000),
+			area,
+		})
+	}
+	return t
+}
+
+// Table6 renders "Average energy (normalized) needed to classify a packet
+// (Joules)".
+func Table6(rows []ACL1Row) *Table {
+	t := &Table{
+		Title: "Table 6: Average normalized energy per packet (Joules), spfac=4, speed=1",
+		Header: []string{"Rules",
+			"SW HiCuts", "SW HyperCuts",
+			"ASIC HiCuts", "ASIC HyperCuts",
+			"FPGA HiCuts", "FPGA HyperCuts"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			itoa(r.N),
+			sci(r.SWHiCutsEnergyJ), sci(r.SWHyperEnergyJ),
+			sci(r.ASICHiCutsEnergyJ), sci(r.ASICHyperEnergyJ),
+			sci(r.FPGAHiCutsEnergyJ), sci(r.FPGAHyperEnergyJ),
+		})
+	}
+	return t
+}
+
+// Table7 renders "Total number of packets classified in 1 second".
+func Table7(rows []ACL1Row) *Table {
+	t := &Table{
+		Title: "Table 7: Packets classified in 1 second, spfac=4, speed=1",
+		Header: []string{"Rules",
+			"SW HiCuts", "SW HyperCuts",
+			"ASIC HiCuts", "ASIC HyperCuts",
+			"FPGA HiCuts", "FPGA HyperCuts"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			itoa(r.N),
+			f0(r.SWHiCutsPPS), f0(r.SWHyperPPS),
+			f0(r.ASICHiCutsPPS), f0(r.ASICHyperPPS),
+			f0(r.FPGAHiCutsPPS), f0(r.FPGAHyperPPS),
+		})
+	}
+	return t
+}
+
+// Table8 renders "Worst case number of memory accesses".
+func Table8(rows []ACL1Row) *Table {
+	t := &Table{
+		Title:  "Table 8: Worst-case memory accesses, spfac=4, speed=1",
+		Header: []string{"Rules", "SW HiCuts", "SW HyperCuts", "HW HiCuts", "HW HyperCuts"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			itoa(r.N), itoa(r.SWHiCutsWorst), itoa(r.SWHyperWorst), itoa(r.HWHiCutsWorst), itoa(r.HWHyperWorst),
+		})
+	}
+	return t
+}
+
+// ClaimsTable renders the §5.2/§5.3 headline comparisons.
+func ClaimsTable(c Claims) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Headline claims (acl1, %d rules)", c.N),
+		Header: []string{"Claim", "Paper", "Measured"},
+	}
+	add := func(name, paper, measured string) {
+		t.Rows = append(t.Rows, []string{name, paper, measured})
+	}
+	add("ASIC vs RFC throughput", "up to 546x", fmt.Sprintf("%.0fx (%.0f vs %.0f pps)", c.ThroughputVsRFC, c.ASICPPS, c.RFCPPS))
+	add("ASIC vs SW HiCuts throughput", "up to 4269x", fmt.Sprintf("%.0fx (%.0f vs %.0f pps)", c.ThroughputVsHiCuts, c.ASICPPS, c.HiCutsPPS))
+	add("Energy saving vs SW HiCuts", "up to 7773x", fmt.Sprintf("%.0fx", c.EnergySavingVsHiCuts))
+	add("FPGA power vs Ayama 10128 @77MHz", "1.8W vs 2.9W", fmt.Sprintf("%.2fW vs %.2fW", c.FPGAPowerW, c.TCAMPowerW))
+	add("ASIC power vs TCAM-system SRAM alone", "19.79mW vs 875mW", fmt.Sprintf("%.1fmW vs %.0fmW", c.ASICPowerRawW*1000, c.TCAMSRAMPowerW*1000))
+	add("TCAM storage efficiency", "16-53% (avg 34%)", fmt.Sprintf("%.0f%%", c.TCAMEfficiency*100))
+	return t
+}
+
+// TCAMExpansion summarizes TCAM storage efficiency per profile; it backs
+// the §1 storage-efficiency discussion.
+func TCAMExpansion(opts Options, n int) (*Table, error) {
+	opts.sanitize()
+	t := &Table{
+		Title:  fmt.Sprintf("TCAM range expansion at %d rules", n),
+		Header: []string{"Profile", "Rules", "Entries", "Efficiency", "Worst rule"},
+	}
+	for _, prof := range []string{"acl1", "fw1", "ipc1"} {
+		p, err := classbench.ProfileByName(prof)
+		if err != nil {
+			return nil, err
+		}
+		_, st, err := tcam.Build(classbench.Generate(p, n, opts.Seed))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			prof, itoa(st.Rules), itoa(st.Entries),
+			fmt.Sprintf("%.0f%%", st.Efficiency*100), itoa(st.WorstRuleEntries),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,166 @@
+package classbench
+
+import (
+	"testing"
+
+	"repro/internal/rule"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(ACL1(), 200, 42)
+	b := Generate(ACL1(), 200, 42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].F != b[i].F {
+			t.Fatalf("rule %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateSeedChangesOutput(t *testing.T) {
+	a := Generate(ACL1(), 100, 1)
+	b := Generate(ACL1(), 100, 2)
+	same := 0
+	for i := range a {
+		if a[i].F == b[i].F {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical rulesets")
+	}
+}
+
+func TestGenerateExactCountAndUnique(t *testing.T) {
+	for _, p := range []Profile{ACL1(), FW1(), IPC1()} {
+		for _, n := range []int{1, 60, 500} {
+			rs := Generate(p, n, 7)
+			if len(rs) != n {
+				t.Fatalf("%s: got %d rules, want %d", p.Name, len(rs), n)
+			}
+			if err := rs.Validate(); err != nil {
+				t.Fatalf("%s: invalid ruleset: %v", p.Name, err)
+			}
+			seen := map[[rule.NumDims]rule.Range]bool{}
+			for i := range rs {
+				if seen[rs[i].F] {
+					t.Fatalf("%s: duplicate rule %d", p.Name, i)
+				}
+				seen[rs[i].F] = true
+			}
+			for i := range rs {
+				if rs[i].ID != i {
+					t.Fatalf("%s: rule %d has ID %d", p.Name, i, rs[i].ID)
+				}
+			}
+		}
+	}
+}
+
+func TestProfileShapes(t *testing.T) {
+	// The relative wildcard densities drive the paper's Table 4 memory
+	// discussion: fw1 >> ipc1 > acl1.
+	acl := Measure(Generate(ACL1(), 2000, 3))
+	fw := Measure(Generate(FW1(), 2000, 3))
+	ipc := Measure(Generate(IPC1(), 2000, 3))
+
+	if !(fw.WildcardAnyIPFrac > ipc.WildcardAnyIPFrac) {
+		t.Errorf("fw1 wildcard fraction %.3f should exceed ipc1 %.3f",
+			fw.WildcardAnyIPFrac, ipc.WildcardAnyIPFrac)
+	}
+	if !(ipc.WildcardAnyIPFrac > acl.WildcardAnyIPFrac) {
+		t.Errorf("ipc1 wildcard fraction %.3f should exceed acl1 %.3f",
+			ipc.WildcardAnyIPFrac, acl.WildcardAnyIPFrac)
+	}
+	if fw.WildcardAnyIPFrac < 0.15 {
+		t.Errorf("fw1 wildcard fraction %.3f too low to reproduce the fw1 blow-up", fw.WildcardAnyIPFrac)
+	}
+	if acl.ExactDstPortFrac < 0.4 {
+		t.Errorf("acl1 exact dst-port fraction %.3f; expected mostly exact service ports", acl.ExactDstPortFrac)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"acl1", "fw1", "ipc1"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatalf("ProfileByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("got profile %q, want %q", p.Name, name)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestTraceMatchesMostly(t *testing.T) {
+	rs := Generate(ACL1(), 300, 11)
+	trace := GenerateTrace(rs, 2000, 11)
+	if len(trace) != 2000 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	hits := 0
+	for _, p := range trace {
+		if rs.Match(p) >= 0 {
+			hits++
+		}
+	}
+	// ~95% of packets are sampled inside a rule, so the hit rate must be
+	// high (random packets can still hit wildcard-ish rules).
+	if frac := float64(hits) / float64(len(trace)); frac < 0.85 {
+		t.Errorf("trace hit rate %.3f too low", frac)
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	rs := Generate(IPC1(), 100, 5)
+	a := GenerateTrace(rs, 500, 9)
+	b := GenerateTrace(rs, 500, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace packet %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestTraceEmptyRuleset(t *testing.T) {
+	trace := GenerateTrace(nil, 50, 1)
+	if len(trace) != 50 {
+		t.Fatalf("trace length %d, want 50", len(trace))
+	}
+}
+
+func TestPaperSizes(t *testing.T) {
+	if got := PaperSizes(2, "acl1"); len(got) != 6 || got[5] != 2191 {
+		t.Errorf("table 2 sizes = %v", got)
+	}
+	for _, profile := range []string{"acl1", "fw1", "ipc1"} {
+		sizes := PaperSizes(4, profile)
+		if len(sizes) != 8 {
+			t.Errorf("table 4 %s sizes = %v", profile, sizes)
+		}
+		if sizes[len(sizes)-1] < 23000 {
+			t.Errorf("table 4 %s final size %d too small", profile, sizes[len(sizes)-1])
+		}
+	}
+	if PaperSizes(99, "acl1") != nil {
+		t.Error("unknown table should return nil sizes")
+	}
+}
+
+func TestLargeGenerationScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rs := Generate(FW1(), 23087, 4)
+	if len(rs) != 23087 {
+		t.Fatalf("got %d rules", len(rs))
+	}
+	if err := rs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/classbench"
+)
+
+// Ablation-oriented tests for the design decisions the paper calls out in
+// §3; the quantitative versions live in the repository-level benchmarks.
+
+func TestAblationStartCutsReducesBuildWork(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 1200, 97)
+	cfg2 := DefaultConfig(HiCuts)
+	cfg2.StartCuts = 2
+	t2, err := Build(rs, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t32, err := Build(rs, DefaultConfig(HiCuts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3: "32 cuts is a much better starting position than 2 as it leads
+	// to a significant decrease in computation". Starting at 2 must not
+	// do less cut-evaluation work than starting at 32.
+	if t2.Stats().CutEvaluations < t32.Stats().CutEvaluations {
+		t.Errorf("start=2 evaluations %d < start=32 evaluations %d",
+			t2.Stats().CutEvaluations, t32.Stats().CutEvaluations)
+	}
+	// Both variants classify identically.
+	for _, p := range classbench.GenerateTrace(rs, 800, 98) {
+		if t2.Classify(p) != t32.Classify(p) {
+			t.Fatal("start-cut ablation changed classification results")
+		}
+	}
+}
+
+func TestAblationLeafPointersCostCycle(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 800, 99)
+	rulesIn, err := Build(rs, DefaultConfig(HyperCuts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgP := DefaultConfig(HyperCuts)
+	cfgP.LeafPointers = true
+	ptrs, err := Build(rs, cfgP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3: storing rules in leaves "presents data one clock cycle
+	// earlier" — the pointer variant must be at least one cycle worse.
+	if ptrs.WorstCaseCycles() < rulesIn.WorstCaseCycles()+1 {
+		t.Errorf("pointer leaves worst case %d, rules-in-leaf %d; expected >= +1 cycle",
+			ptrs.WorstCaseCycles(), rulesIn.WorstCaseCycles())
+	}
+	// Pointer trees still classify correctly (analytically).
+	for _, p := range classbench.GenerateTrace(rs, 1000, 100) {
+		if got, want := ptrs.Classify(p), rs.Match(p); got != want {
+			t.Fatalf("pointer-leaf tree misclassifies: %d vs %d", got, want)
+		}
+	}
+	// Walk cycle accounting includes the extra fetch.
+	for _, p := range classbench.GenerateTrace(rs, 200, 101) {
+		pr := ptrs.Walk(p)
+		rr := rulesIn.Walk(p)
+		if pr.Match != rr.Match {
+			t.Fatal("walk match mismatch between ablation variants")
+		}
+	}
+}
+
+func TestAblationCutCap(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 1500, 102)
+	capped := DefaultConfig(HiCuts)
+	capped.CutCap = 64
+	tc, err := Build(rs, capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tc.Internals() {
+		if len(n.Children) > 64 {
+			t.Fatalf("node with %d children under CutCap=64", len(n.Children))
+		}
+	}
+	for _, p := range classbench.GenerateTrace(rs, 800, 103) {
+		if got, want := tc.Classify(p), rs.Match(p); got != want {
+			t.Fatalf("capped tree misclassifies: %d vs %d", got, want)
+		}
+	}
+}
+
+func TestSpaceBudgetBoundsReplication(t *testing.T) {
+	// The space budget must keep total leaf storage within a small
+	// factor of spfac*n even on wildcard-heavy inputs.
+	rs := classbench.Generate(classbench.FW1(), 1500, 104)
+	tr, err := Build(rs, DefaultConfig(HiCuts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl := float64(tr.Stats().ReplicatedRules) / float64(len(rs))
+	if repl > 64 {
+		t.Errorf("replication factor %.1f is runaway; space budget not effective", repl)
+	}
+	if tr.Stats().OverflowLeaves == 0 {
+		t.Log("note: no overflow leaves on this input (acceptable)")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rule"
+)
+
+// TreeStats is a structural summary of a built search structure, used by
+// tooling and examples to explain what the builder produced.
+type TreeStats struct {
+	Rules          int
+	InternalNodes  int
+	DistinctLeaves int
+	LeafRuleSlots  int // total rule slots consumed by leaves
+	Replication    float64
+	Depth          int
+	Words          int
+	MemoryBytes    int
+	WorstCycles    int
+	// CutDimUse counts how many internal nodes cut each dimension.
+	CutDimUse [rule.NumDims]int
+	// FanoutHist maps cut count (32..256) to internal-node count.
+	FanoutHist map[int]int
+	// LeafSizeMax/Avg describe leaf population.
+	LeafSizeMax int
+	LeafSizeAvg float64
+}
+
+// Summarize computes TreeStats for the tree.
+func (t *Tree) Summarize() TreeStats {
+	st := TreeStats{
+		Rules:          len(t.rules),
+		InternalNodes:  len(t.internals),
+		DistinctLeaves: len(t.leafOrder),
+		Depth:          t.stats.MaxDepth,
+		Words:          t.words,
+		MemoryBytes:    t.MemoryBytes(),
+		WorstCycles:    t.WorstCaseCycles(),
+		FanoutHist:     map[int]int{},
+	}
+	for _, n := range t.internals {
+		st.FanoutHist[len(n.Children)]++
+		for _, c := range n.Cuts {
+			st.CutDimUse[c.Dim]++
+		}
+	}
+	total := 0
+	for _, l := range t.leafOrder {
+		n := len(l.Rules)
+		total += n
+		if n > st.LeafSizeMax {
+			st.LeafSizeMax = n
+		}
+	}
+	st.LeafRuleSlots = total
+	if len(t.leafOrder) > 0 {
+		st.LeafSizeAvg = float64(total) / float64(len(t.leafOrder))
+	}
+	if len(t.rules) > 0 {
+		st.Replication = float64(total) / float64(len(t.rules))
+	}
+	return st
+}
+
+// Describe renders a human-readable multi-line summary.
+func (t *Tree) Describe() string {
+	st := t.Summarize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v search structure: %d rules -> %d words (%d bytes), worst case %d cycles\n",
+		t.cfg.Algorithm, st.Rules, st.Words, st.MemoryBytes, st.WorstCycles)
+	fmt.Fprintf(&b, "  internal nodes: %d (depth %d); distinct leaves: %d (max %d rules, avg %.1f, replication %.2fx)\n",
+		st.InternalNodes, st.Depth, st.DistinctLeaves, st.LeafSizeMax, st.LeafSizeAvg, st.Replication)
+	var fans []int
+	for f := range st.FanoutHist {
+		fans = append(fans, f)
+	}
+	sort.Ints(fans)
+	fmt.Fprintf(&b, "  fan-out:")
+	for _, f := range fans {
+		fmt.Fprintf(&b, " %dx%d", st.FanoutHist[f], f)
+	}
+	fmt.Fprintf(&b, "\n  cut dimensions:")
+	for d := 0; d < rule.NumDims; d++ {
+		if st.CutDimUse[d] > 0 {
+			fmt.Fprintf(&b, " %s:%d", rule.DimNames[d], st.CutDimUse[d])
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package core
+
+import "repro/internal/rule"
+
+// layout rearranges nodes into accelerator memory: all internal nodes
+// first (breadth-first, root in word 0), then leaf storage packed
+// according to the speed parameter (paper §3).
+func (t *Tree) layout() error { // error kept for future packing policies
+	t.internals = t.internals[:0]
+	t.leafOrder = t.leafOrder[:0]
+
+	// Breadth-first over internal nodes; collect distinct leaves in
+	// first-encounter order. Distinctness is by pointer: the builder
+	// already merged identical leaves.
+	seenI := map[*Node]bool{}
+	seenL := map[*Node]bool{}
+	queue := []*Node{t.Root}
+	seenI[t.Root] = true
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		n.Word = len(t.internals)
+		n.Pos = 0
+		t.internals = append(t.internals, n)
+		for _, c := range n.Children {
+			if c == nil {
+				continue
+			}
+			if c.Leaf {
+				if !seenL[c] {
+					seenL[c] = true
+					t.leafOrder = append(t.leafOrder, c)
+				}
+				continue
+			}
+			if !seenI[c] {
+				seenI[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+
+	// Pack leaves after the internal words. With the LeafPointers
+	// ablation, leaves hold 20-bit rule pointers (240 per word) instead
+	// of full 160-bit rules, and a rule table (30 rules per word) is
+	// appended after the leaves.
+	slots := RulesPerWord
+	if t.cfg.LeafPointers {
+		slots = PointerSlotsPerWord
+	}
+	word := len(t.internals)
+	pos := 0
+	for _, l := range t.leafOrder {
+		n := len(l.Rules)
+		if n == 0 {
+			n = 1 // the empty leaf stores one sentinel slot
+		}
+		if t.cfg.Speed == 1 && pos > 0 && pos+n > slots {
+			// Eq. 6: with speed 1 a leaf starts mid-word only if it
+			// fits entirely in the word.
+			word++
+			pos = 0
+		}
+		l.Word = word
+		l.Pos = pos
+		pos += n
+		word += pos / slots
+		pos %= slots
+	}
+	if pos > 0 {
+		word++
+	}
+	if t.cfg.LeafPointers {
+		// Rule table: the actual rules, stored once.
+		word += (len(t.rules) + RulesPerWord - 1) / RulesPerWord
+	}
+	t.words = word
+	// Structures larger than the pointer field can address are still
+	// useful analytically (paper Table 4 reports sizes well beyond the
+	// 1024-word device); Encode enforces addressability when an actual
+	// memory image is requested.
+	return nil
+}
+
+// Internals returns the internal nodes in layout order (root first).
+func (t *Tree) Internals() []*Node { return t.internals }
+
+// Leaves returns the distinct leaves in layout order.
+func (t *Tree) Leaves() []*Node { return t.leafOrder }
+
+// PointerSlotsPerWord is the leaf capacity under the LeafPointers
+// ablation: 20-bit pointers (12-bit word + 5-bit position + flags), 240
+// to a 4800-bit word.
+const PointerSlotsPerWord = WordBits / 20
+
+// leafSlots returns the per-word leaf capacity for this tree's layout.
+func (t *Tree) leafSlots() int {
+	if t.cfg.LeafPointers {
+		return PointerSlotsPerWord
+	}
+	return RulesPerWord
+}
+
+// LeafWords returns how many memory words leaf l's storage spans.
+func LeafWords(l *Node) int {
+	n := len(l.Rules)
+	if n == 0 {
+		n = 1
+	}
+	return (l.Pos+n-1)/RulesPerWord + 1
+}
+
+// leafWordsIn is LeafWords under a configurable per-word slot count.
+func leafWordsIn(l *Node, slots int) int {
+	n := len(l.Rules)
+	if n == 0 {
+		n = 1
+	}
+	return (l.Pos+n-1)/slots + 1
+}
+
+// PathInfo describes the traversal cost of one packet through the tree.
+type PathInfo struct {
+	// Internal is the number of internal nodes traversed including the
+	// root (the x of Eqs. 5 and 7).
+	Internal int
+	// LeafWords is the number of leaf memory words read (scan stops at
+	// the first match).
+	LeafWords int
+	// MatchPos is the 0-based position of the matching rule within the
+	// leaf (the z of Eqs. 5 and 7), or -1 when no rule matches.
+	MatchPos int
+	// Match is the matching rule ID or -1.
+	Match int
+}
+
+// Cycles returns the unpipelined clock-cycle count of the classification:
+// Eq. 5 (speed 0) / Eq. 7 (speed 1) when a match is found, where the
+// root-node computation accounts for one cycle and each further internal
+// node and each leaf word read accounts for one cycle.
+func (pi PathInfo) Cycles() int { return pi.Internal + pi.LeafWords }
+
+// Walk classifies p on the logical tree and reports the traversal cost the
+// accelerator would incur. It is the analytical counterpart of the
+// cycle-accurate simulator in internal/hwsim: the simulator's measured
+// cycle counts are property-tested against Walk's Eq. 5/7 predictions.
+func (t *Tree) Walk(p rule.Packet) PathInfo {
+	pi := PathInfo{Match: -1, MatchPos: -1}
+	n := t.Root
+	for n != nil && !n.Leaf {
+		pi.Internal++
+		n = n.Children[ChildIndex(n.Cuts, p)]
+	}
+	if n == nil {
+		// Empty region: the hardware encodes these as a pointer to the
+		// shared empty leaf, whose single sentinel word is still read.
+		pi.LeafWords = 1
+		return pi
+	}
+	// Scan the leaf word by word; within a word the 30 comparators work
+	// in parallel, so cost is counted per word.
+	slots := t.leafSlots()
+	extra := 0
+	if t.cfg.LeafPointers {
+		// Pointer leaves add one dependent rule-table fetch before data
+		// can be presented (the cycle the rules-in-leaf modification
+		// saves, paper §3).
+		extra = 1
+	}
+	count := len(n.Rules)
+	if count == 0 {
+		pi.LeafWords = 1
+		return pi
+	}
+	for z, id := range n.Rules {
+		if t.rules[id].Matches(p) {
+			pi.Match = int(id)
+			pi.MatchPos = z
+			pi.LeafWords = (n.Pos+z)/slots + 1 + extra
+			return pi
+		}
+	}
+	pi.LeafWords = (n.Pos+count-1)/slots + 1 + extra
+	return pi
+}
+
+// WorstCaseCycles returns the worst-case clock cycles (equivalently,
+// memory accesses) to classify any packet: the deepest root-leaf path plus
+// a full scan of its leaf storage. This is the hardware quantity of paper
+// Tables 4 and 8. The pipelined accelerator overlaps the root cycle of
+// one packet with the leaf search of the previous, so sustained
+// throughput is one packet per max(1, WorstCaseCycles-1) cycles in the
+// worst case (paper §4).
+func (t *Tree) WorstCaseCycles() int {
+	slots := t.leafSlots()
+	extra := 0
+	if t.cfg.LeafPointers {
+		extra = 1
+	}
+	memo := map[*Node]int{}
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		if n == nil {
+			return 1 // empty leaf read
+		}
+		if n.Leaf {
+			return leafWordsIn(n, slots) + extra
+		}
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		worst := 0
+		for _, c := range n.Children {
+			if w := walk(c); w > worst {
+				worst = w
+			}
+		}
+		v := 1 + worst
+		memo[n] = v
+		return v
+	}
+	return walk(t.Root)
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rule"
+)
+
+// These properties pin down the heart of the paper's contribution: the
+// per-dimension mask/shift encoding of cuts must compute exactly the
+// geometric child index, for every region depth and cut-bit combination.
+
+// geometricIndex computes the child index from first principles: extract
+// the next bits[i] top-8 bits of each cut dimension below the region
+// prefix and combine them most-significant-dimension-first.
+func geometricIndex(p rule.Packet, dims, bits []int, prefixLen [rule.NumDims]int) int {
+	idx := 0
+	for i, d := range dims {
+		L := prefixLen[d]
+		k := bits[i]
+		top8 := p.Top8(d)
+		comp := int(top8>>uint(8-L-k)) & (1<<uint(k) - 1)
+		idx = idx<<uint(k) | comp
+	}
+	return idx
+}
+
+func TestMaskShiftEqualsGeometricIndex(t *testing.T) {
+	f := func(seed int64, sip, dip uint32, sp, dp uint16, proto uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random region and cut: pick 1-3 distinct dims, a prefix depth
+		// and cut bits per dim such that L+k <= 8.
+		nd := 1 + rng.Intn(3)
+		perm := rng.Perm(rule.NumDims)[:nd]
+		var prefixLen [rule.NumDims]int
+		dims := make([]int, 0, nd)
+		bits := make([]int, 0, nd)
+		total := 0
+		for _, d := range perm {
+			L := rng.Intn(8)
+			maxK := 8 - L
+			k := 1 + rng.Intn(maxK)
+			if total+k > 8 { // keep np <= 256 like the hardware format
+				k = 8 - total
+			}
+			if k <= 0 {
+				continue
+			}
+			total += k
+			prefixLen[d] = L
+			dims = append(dims, d)
+			bits = append(bits, k)
+		}
+		if len(dims) == 0 {
+			return true
+		}
+		cuts := makeCuts(dims, bits, prefixLen)
+		p := rule.Packet{SrcIP: sip, DstIP: dip, SrcPort: sp, DstPort: dp, Proto: proto}
+		got := ChildIndex(cuts, p)
+		want := geometricIndex(p, dims, bits, prefixLen)
+		if got != want {
+			t.Logf("dims=%v bits=%v prefixLen=%v: mask/shift=%d geometric=%d", dims, bits, prefixLen, got, want)
+			return false
+		}
+		np := 1
+		for _, k := range bits {
+			np <<= uint(k)
+		}
+		return got >= 0 && got < np
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskShiftSiblingPacketsShareChildren(t *testing.T) {
+	// Two packets identical in the cut bits of the cut dimensions must
+	// route to the same child regardless of all other bits.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 2000; trial++ {
+		d := rng.Intn(rule.NumDims)
+		L := rng.Intn(5)
+		k := 1 + rng.Intn(8-L)
+		var prefixLen [rule.NumDims]int
+		prefixLen[d] = L
+		cuts := makeCuts([]int{d}, []int{k}, prefixLen)
+
+		base := rule.Packet{SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+			SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)), Proto: uint8(rng.Intn(256))}
+		// Mutate bits of dimension d outside the mask window.
+		other := base
+		w := rule.DimBits[d]
+		windowTop := w - uint(L) // exclusive top of cut window
+		windowBot := w - uint(L) - uint(k)
+		mutate := rng.Uint32()
+		// Clear the window bits of the mutation.
+		var windowMask uint32
+		for b := windowBot; b < windowTop; b++ {
+			windowMask |= 1 << b
+		}
+		mutate &^= windowMask
+		switch d {
+		case rule.DimSrcIP:
+			other.SrcIP ^= mutate
+		case rule.DimDstIP:
+			other.DstIP ^= mutate
+		case rule.DimSrcPort:
+			other.SrcPort ^= uint16(mutate)
+		case rule.DimDstPort:
+			other.DstPort ^= uint16(mutate)
+		case rule.DimProto:
+			other.Proto ^= uint8(mutate)
+		}
+		if ChildIndex(cuts, base) != ChildIndex(cuts, other) {
+			t.Fatalf("trial %d: packets differing only outside the cut window routed differently (dim %d L=%d k=%d)",
+				trial, d, L, k)
+		}
+	}
+}
+
+func TestStuckRulesDetection(t *testing.T) {
+	b := &builder{cfg: Config{}, rules: rule.RuleSet{
+		// Rule 0: wildcard everywhere -> stuck at the root.
+		rule.New(0, 0, 0, 0, 0, rule.FullRange(rule.DimSrcPort), rule.FullRange(rule.DimDstPort), 0, true),
+		// Rule 1: exact host -> not stuck at the root.
+		rule.New(1, 0x0A0B0C0D, 32, 0x01020304, 32, rule.Range{Lo: 80, Hi: 80}, rule.Range{Lo: 80, Hi: 80}, 6, false),
+	}}
+	ids := []int32{0, 1}
+	if got := b.stuckRules(ids, [rule.NumDims]int{}, [rule.NumDims]uint32{}); got != 1 {
+		t.Errorf("stuck = %d, want 1", got)
+	}
+	// With every dimension's top-8 bits consumed, both rules are stuck.
+	var deep [rule.NumDims]int
+	for d := range deep {
+		deep[d] = 8
+	}
+	if got := b.stuckRules(ids, deep, [rule.NumDims]uint32{}); got != 2 {
+		t.Errorf("deep stuck = %d, want 2", got)
+	}
+}

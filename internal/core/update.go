@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rule"
+)
+
+// Incremental updates (paper §2.1 notes HiCuts/HyperCuts support them;
+// §4: "incremental updates to the search structure can be made if a copy
+// of the search structure is kept in off-chip memory for the control
+// plane processor to use when updating").
+//
+// The control-plane model implemented here mirrors that description: the
+// logical tree is the off-chip copy; Insert and Delete modify the leaves
+// the rule overlaps without re-cutting, then a fresh memory image is laid
+// out and re-encoded for the accelerator. Tree quality can degrade after
+// many updates (leaves grow past Binth), so Degradation reports how far
+// the structure has drifted and callers rebuild when it exceeds their
+// threshold.
+
+// Insert adds r to the tree. The rule's ID must extend the current
+// ruleset (len(rules)) — rule priority is its position, so arbitrary
+// priority insertion requires a rebuild.
+func (t *Tree) Insert(r rule.Rule) error {
+	if r.ID != len(t.rules) {
+		return fmt.Errorf("core: incremental insert requires ID %d (lowest priority), got %d", len(t.rules), r.ID)
+	}
+	for d := 0; d < rule.NumDims; d++ {
+		f := r.F[d]
+		if f.Lo > f.Hi || f.Hi > rule.MaxValue(d) {
+			return fmt.Errorf("core: invalid range in %s", rule.DimNames[d])
+		}
+	}
+	t.rules = append(t.rules, r)
+	t.insertInto(t.Root, &t.rules[len(t.rules)-1], [rule.NumDims]int{}, [rule.NumDims]uint32{})
+	return t.layout()
+}
+
+// insertInto adds the rule to every leaf whose region it overlaps,
+// following the same child-span arithmetic the builder uses.
+func (t *Tree) insertInto(n *Node, r *rule.Rule, prefixLen [rule.NumDims]int, prefixVal [rule.NumDims]uint32) {
+	if n.Leaf {
+		// Shared leaves (identical rule lists, including the shared
+		// empty leaf) must be unshared before mutation; layout() will
+		// handle the storage. Copy-on-write via a private marker slice.
+		n.Rules = append(n.Rules[:len(n.Rules):len(n.Rules)], int32(r.ID))
+		return
+	}
+	// Compute the child index span of the rule for this node's cut.
+	spans := make([][2]int, len(n.Cuts))
+	strides := make([]int, len(n.Cuts))
+	s := 0
+	for i := len(n.Cuts) - 1; i >= 0; i-- {
+		strides[i] = s
+		s += n.Cuts[i].Bits
+	}
+	for i, c := range n.Cuts {
+		d := c.Dim
+		avail := 8 - prefixLen[d]
+		w := rule.DimBits[d]
+		var regionLo, regionHi uint32
+		if prefixLen[d] == 0 {
+			regionLo, regionHi = 0, rule.MaxValue(d)
+		} else {
+			shift := w - uint(prefixLen[d])
+			regionLo = prefixVal[d] << shift
+			regionHi = regionLo | (uint32(1)<<shift - 1)
+		}
+		lo, hi := r.F[d].Lo, r.F[d].Hi
+		if hi < regionLo || lo > regionHi {
+			return // rule does not touch this subtree
+		}
+		if lo < regionLo {
+			lo = regionLo
+		}
+		if hi > regionHi {
+			hi = regionHi
+		}
+		availMask := uint32(1)<<uint(avail) - 1
+		rlo := int(((lo >> (w - 8)) & availMask) >> uint(avail-c.Bits))
+		rhi := int(((hi >> (w - 8)) & availMask) >> uint(avail-c.Bits))
+		spans[i] = [2]int{rlo, rhi}
+	}
+	// Recurse into each overlapped child. Leaves may be shared between
+	// many slots (the builder deduplicates identical leaves), so a
+	// mutated leaf is first unshared via copy-on-write; every overlapped
+	// slot that pointed at the same old leaf gets the same fresh copy,
+	// while slots outside the rule's span correctly keep the old one.
+	freshened := map[*Node]*Node{}
+	visited := map[*Node]bool{}
+	enumerateBox(spans, strides, func(child int) {
+		c := n.Children[child]
+		if c == nil {
+			return
+		}
+		if c.Leaf {
+			fresh, ok := freshened[c]
+			if !ok {
+				fresh = &Node{Leaf: true, Rules: append([]int32(nil), c.Rules...)}
+				fresh.Rules = append(fresh.Rules, int32(r.ID))
+				freshened[c] = fresh
+			}
+			n.Children[child] = fresh
+			return
+		}
+		if visited[c] {
+			return
+		}
+		visited[c] = true
+		childLen := prefixLen
+		childVal := prefixVal
+		for j, cut := range n.Cuts {
+			comp := (child >> uint(strides[j])) & (1<<uint(cut.Bits) - 1)
+			childVal[cut.Dim] = childVal[cut.Dim]<<uint(cut.Bits) | uint32(comp)
+			childLen[cut.Dim] += cut.Bits
+		}
+		t.insertInto(c, r, childLen, childVal)
+	})
+}
+
+// Delete removes the rule with the given ID from every leaf. The rule
+// stays in the ruleset slice (IDs are positional) but is disabled; its
+// slots are reclaimed at the next layout.
+func (t *Tree) Delete(id int) error {
+	if id < 0 || id >= len(t.rules) {
+		return fmt.Errorf("core: no rule %d", id)
+	}
+	var walk func(n *Node)
+	seen := map[*Node]bool{}
+	walk = func(n *Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		if n.Leaf {
+			out := n.Rules[:0:0]
+			for _, rid := range n.Rules {
+				if rid != int32(id) {
+					out = append(out, rid)
+				}
+			}
+			n.Rules = out
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	// Disable the rule so Classify/Walk never match it again even if a
+	// stale reference survives.
+	t.rules[id].F[rule.DimProto] = rule.Range{Lo: 1, Hi: 0} // empty range matches nothing
+	return t.layout()
+}
+
+// Degradation reports how far incremental updates have pushed the tree
+// from its built quality: the fraction of leaves now holding more than
+// Binth rules. Rebuild when this exceeds the operator's threshold.
+func (t *Tree) Degradation() float64 {
+	if len(t.leafOrder) == 0 {
+		return 0
+	}
+	over := 0
+	for _, l := range t.leafOrder {
+		if len(l.Rules) > t.cfg.Binth {
+			over++
+		}
+	}
+	return float64(over) / float64(len(t.leafOrder))
+}

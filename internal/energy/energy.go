@@ -1,0 +1,130 @@
+// Package energy holds the device catalog and the power-normalization
+// arithmetic of the paper's evaluation (§5.1, Table 5), plus the SONET
+// line-rate math that frames the throughput results (§1, §5.2).
+//
+// Devices built in different process technologies cannot be compared
+// directly, so the paper normalizes every power figure to 65 nm at 1 V
+// core voltage using Eq. 8:
+//
+//	P' = P * S^2 * U
+//
+// where S is the process scaling factor (65/process) and U the voltage
+// scaling factor (1/voltage).
+package energy
+
+import "fmt"
+
+// Eq. 8 reference point: 65 nm, 1.0 V.
+const (
+	refProcessNm = 65.0
+	refVoltageV  = 1.0
+)
+
+// Normalize applies Eq. 8 to a raw power figure.
+func Normalize(rawPowerW, processNm, voltageV float64) float64 {
+	s := refProcessNm / processNm
+	u := refVoltageV / voltageV
+	return rawPowerW * s * s * u
+}
+
+// Device is one implementation target from Table 5.
+type Device struct {
+	Name      string
+	ProcessNm float64
+	VoltageV  float64
+	FreqHz    float64
+	// RawPowerW is the measured/simulated power in the device's native
+	// process and voltage.
+	RawPowerW float64
+	// IncludesMemory notes whether the power covers search-structure
+	// memory (the FPGA figure does; ASIC and SA-1100 cover datapath
+	// logic only — paper §5.1).
+	IncludesMemory bool
+	// GateCount is the area in equivalent 2-input NAND gates (0 where
+	// the paper reports slices instead).
+	GateCount int
+	// Slices / BlockRAMs describe the FPGA implementation.
+	Slices, BlockRAMs int
+}
+
+// NormalizedPowerW applies Eq. 8 to the device.
+func (d Device) NormalizedPowerW() float64 {
+	return Normalize(d.RawPowerW, d.ProcessNm, d.VoltageV)
+}
+
+// EnergyPerCycleJ is the normalized energy of one clock cycle.
+func (d Device) EnergyPerCycleJ() float64 { return d.NormalizedPowerW() / d.FreqHz }
+
+// Table 5 devices.
+var (
+	// Virtex5 is the FPGA implementation: 65 nm, 1.0 V, 77 MHz post
+	// place-and-route, 1.811 W including block RAM, 3,280 slices (22%),
+	// 134 block RAMs (54%).
+	Virtex5 = Device{
+		Name: "Virtex5SX95T", ProcessNm: 65, VoltageV: 1.0, FreqHz: 77e6,
+		RawPowerW: 1.811, IncludesMemory: true,
+		GateCount: 17600998, Slices: 3280, BlockRAMs: 134,
+	}
+	// ASIC65 is the TSMC 65 nm implementation: 1.08 V, 226 MHz, 19.79 mW
+	// raw datapath power (18.32 mW normalized), 51,488 gates.
+	ASIC65 = Device{
+		Name: "ASIC-65nm", ProcessNm: 65, VoltageV: 1.08, FreqHz: 226e6,
+		RawPowerW: 0.01979, GateCount: 51488,
+	}
+	// SA1100 is the StrongARM software platform: 180 nm, 1.8 V, 200 MHz.
+	// The raw datapath power is chosen so Eq. 8 yields the paper's
+	// normalized 42.45 mW.
+	SA1100 = Device{
+		Name: "StrongARM SA-1100", ProcessNm: 180, VoltageV: 1.8, FreqHz: 200e6,
+		RawPowerW: 0.5862,
+	}
+)
+
+// Devices lists the Table 5 catalog in paper column order.
+func Devices() []Device { return []Device{Virtex5, ASIC65, SA1100} }
+
+// ---- SONET line rates (paper §1) ----
+
+// LineRate is a SONET/SDH line with its worst-case packet rate.
+type LineRate struct {
+	Name   string
+	BitsPS float64
+}
+
+// Worst-case packet rate assumes minimum-sized 40-byte packets arriving
+// back to back (the paper's convention: OC-192 -> 31.25 Mpps, OC-768 ->
+// 125 Mpps).
+const minPacketBits = 40 * 8
+
+// Standard line rates.
+var (
+	OC1   = LineRate{"OC-1", 51.84e6}
+	OC48  = LineRate{"OC-48", 2488.32e6}
+	OC192 = LineRate{"OC-192", 10e9}
+	OC768 = LineRate{"OC-768", 40e9}
+)
+
+// WorstCasePPS returns the back-to-back minimum-packet rate.
+func (l LineRate) WorstCasePPS() float64 { return l.BitsPS / minPacketBits }
+
+// Sustains reports whether a classifier at the given packet rate keeps up
+// with the line under worst-case minimum-sized packets.
+func Sustains(pps float64, l LineRate) bool { return pps >= l.WorstCasePPS() }
+
+// HighestLine returns the fastest standard line the given packet rate
+// sustains, or "sub-OC-1".
+func HighestLine(pps float64) string {
+	best := "sub-OC-1"
+	for _, l := range []LineRate{OC1, OC48, OC192, OC768} {
+		if Sustains(pps, l) {
+			best = l.Name
+		}
+	}
+	return best
+}
+
+// String renders the device for the Table 5 report.
+func (d Device) String() string {
+	return fmt.Sprintf("%s: %.0fnm %.2fV %.0fMHz raw %.4gW normalized %.4gW",
+		d.Name, d.ProcessNm, d.VoltageV, d.FreqHz/1e6, d.RawPowerW, d.NormalizedPowerW())
+}

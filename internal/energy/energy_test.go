@@ -1,0 +1,91 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*math.Abs(want)
+}
+
+func TestNormalizeIdentityAtReference(t *testing.T) {
+	if got := Normalize(1.0, 65, 1.0); got != 1.0 {
+		t.Errorf("reference point must be identity, got %g", got)
+	}
+}
+
+func TestNormalizeEq8(t *testing.T) {
+	// S = 65/130 = 0.5, U = 1/2 -> P' = P * 0.25 * 0.5 = P/8.
+	if got := Normalize(8.0, 130, 2.0); !approx(got, 1.0, 1e-12) {
+		t.Errorf("Normalize = %g, want 1.0", got)
+	}
+}
+
+func TestTable5NormalizedValues(t *testing.T) {
+	// Paper Table 5: ASIC normalized 18.32 mW, SA-1100 normalized
+	// 42.45 mW.
+	if got := ASIC65.NormalizedPowerW(); !approx(got, 0.01832, 0.01) {
+		t.Errorf("ASIC normalized %.5f W, want 0.01832", got)
+	}
+	if got := SA1100.NormalizedPowerW(); !approx(got, 0.04245, 0.01) {
+		t.Errorf("SA-1100 normalized %.5f W, want 0.04245", got)
+	}
+	// The FPGA runs at the reference voltage/process already.
+	if got := Virtex5.NormalizedPowerW(); !approx(got, 1.811, 1e-9) {
+		t.Errorf("FPGA normalized %.3f W, want 1.811", got)
+	}
+}
+
+func TestDeviceCatalog(t *testing.T) {
+	ds := Devices()
+	if len(ds) != 3 {
+		t.Fatalf("catalog size %d", len(ds))
+	}
+	if ds[0].Slices != 3280 || ds[0].BlockRAMs != 134 {
+		t.Error("FPGA utilization constants drifted from Table 5")
+	}
+	if ds[1].GateCount != 51488 {
+		t.Error("ASIC gate count drifted from Table 5")
+	}
+	for _, d := range ds {
+		if d.EnergyPerCycleJ() <= 0 {
+			t.Errorf("%s: energy/cycle not positive", d.Name)
+		}
+		if d.String() == "" {
+			t.Errorf("%s: empty String()", d.Name)
+		}
+	}
+}
+
+func TestWorstCasePPS(t *testing.T) {
+	// Paper §1: OC-192 -> 31.25 Mpps, OC-768 -> 125 Mpps with 40-byte
+	// packets back to back.
+	if got := OC192.WorstCasePPS(); !approx(got, 31.25e6, 1e-9) {
+		t.Errorf("OC-192 = %.0f pps", got)
+	}
+	if got := OC768.WorstCasePPS(); !approx(got, 125e6, 1e-9) {
+		t.Errorf("OC-768 = %.0f pps", got)
+	}
+}
+
+func TestSustainsAndHighestLine(t *testing.T) {
+	// The ASIC at 226 Mpps (worst case 2 cycles -> 226M/1) exceeds
+	// OC-768; the FPGA at 77 Mpps exceeds OC-192 but not OC-768; the
+	// SA-1100 software at ~0.09 Mpps is below OC-1.
+	if !Sustains(226e6, OC768) {
+		t.Error("ASIC should sustain OC-768")
+	}
+	if Sustains(77e6, OC768) || !Sustains(77e6, OC192) {
+		t.Error("FPGA should sustain OC-192 but not OC-768")
+	}
+	if HighestLine(226e6) != "OC-768" {
+		t.Errorf("226 Mpps -> %s", HighestLine(226e6))
+	}
+	if HighestLine(77e6) != "OC-192" {
+		t.Errorf("77 Mpps -> %s", HighestLine(77e6))
+	}
+	if HighestLine(90e3) != "sub-OC-1" {
+		t.Errorf("90 kpps -> %s", HighestLine(90e3))
+	}
+}

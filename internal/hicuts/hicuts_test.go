@@ -1,0 +1,307 @@
+package hicuts
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/rule"
+)
+
+func table1Rules() rule.RuleSet {
+	// The paper's Table 1: 10 rules over five 8-bit fields.
+	specs := [][2][rule.NumDims]uint8{
+		{{128, 15, 40, 180, 120}, {240, 15, 40, 180, 140}},
+		{{90, 0, 0, 190, 130}, {100, 80, 200, 200, 132}},
+		{{130, 60, 0, 180, 133}, {255, 140, 60, 180, 135}},
+		{{90, 200, 40, 180, 136}, {92, 200, 40, 180, 138}},
+		{{130, 60, 40, 190, 60}, {255, 140, 40, 200, 63}},
+		{{140, 60, 0, 0, 140}, {150, 140, 255, 255, 255}},
+		{{160, 80, 0, 0, 0}, {165, 80, 255, 255, 80}},
+		{{48, 0, 40, 0, 0}, {50, 80, 40, 255, 10}},
+		{{26, 50, 40, 180, 30}, {36, 50, 40, 180, 40}},
+		{{40, 40, 40, 0, 0}, {40, 70, 40, 255, 60}},
+	}
+	rs := make(rule.RuleSet, len(specs))
+	for i, s := range specs {
+		rs[i] = rule.FromBytes(i, s[0], s[1])
+	}
+	return rs
+}
+
+func TestBuildEmpty(t *testing.T) {
+	tr, err := Build(nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.Leaf {
+		t.Error("empty ruleset should yield a leaf root")
+	}
+	if got := tr.Classify(rule.Packet{}); got != -1 {
+		t.Errorf("Classify on empty set = %d, want -1", got)
+	}
+}
+
+func TestBuildSingleRule(t *testing.T) {
+	rs := rule.RuleSet{rule.New(0, 0x0A000000, 8, 0, 0,
+		rule.FullRange(rule.DimSrcPort), rule.Range{Lo: 80, Hi: 80}, 6, false)}
+	tr, err := Build(rs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := rule.Packet{SrcIP: 0x0A123456, DstPort: 80, Proto: 6}
+	if got := tr.Classify(in); got != 0 {
+		t.Errorf("Classify = %d, want 0", got)
+	}
+	out := in
+	out.Proto = 17
+	if got := tr.Classify(out); got != -1 {
+		t.Errorf("Classify = %d, want -1", got)
+	}
+}
+
+func TestTable1TreeRespectsB3(t *testing.T) {
+	rs := table1Rules()
+	tr, err := Build(rs, Config{Binth: 3, Spfac: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every leaf must hold at most binth rules (the ruleset is separable).
+	forEachNode(tr.Root, func(n *Node) {
+		if n.Leaf && len(n.Rules) > 3 {
+			t.Errorf("leaf with %d rules exceeds binth 3", len(n.Rules))
+		}
+	})
+	if tr.Root.Leaf {
+		t.Error("10-rule set with binth 3 must cut at the root")
+	}
+}
+
+func TestTable1ClassificationMatchesLinear(t *testing.T) {
+	rs := table1Rules()
+	tr, err := Build(rs, Config{Binth: 3, Spfac: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		p := rule.PacketFromBytes([rule.NumDims]uint8{
+			uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256)),
+			uint8(rng.Intn(256)), uint8(rng.Intn(256))})
+		if got, want := tr.Classify(p), rs.Match(p); got != want {
+			t.Fatalf("packet %d (%+v): tree=%d linear=%d", i, p, got, want)
+		}
+	}
+}
+
+func TestClassifyAgreesWithLinearAllProfiles(t *testing.T) {
+	for _, prof := range []classbench.Profile{classbench.ACL1(), classbench.FW1(), classbench.IPC1()} {
+		rs := classbench.Generate(prof, 400, 9)
+		tr, err := Build(rs, DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		trace := classbench.GenerateTrace(rs, 3000, 10)
+		for i, p := range trace {
+			if got, want := tr.Classify(p), rs.Match(p); got != want {
+				t.Fatalf("%s packet %d: tree=%d linear=%d", prof.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestLeavesRespectBinthOrNoProgress(t *testing.T) {
+	rs := classbench.Generate(classbench.FW1(), 600, 3)
+	cfg := DefaultConfig()
+	tr, err := Build(rs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fw1 has heavily overlapping wildcard rules, so some leaves may
+	// legitimately exceed binth when no cut separates them; but they must
+	// never exceed the count of rules that pairwise overlap (sanity: not
+	// the whole ruleset).
+	forEachNode(tr.Root, func(n *Node) {
+		if n.Leaf && len(n.Rules) >= len(rs) {
+			t.Errorf("leaf holds the entire ruleset (%d rules): tree did not cut", len(n.Rules))
+		}
+	})
+}
+
+func TestStatsPopulated(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 500, 4)
+	tr, err := Build(rs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.Nodes <= 0 || s.Internal <= 0 || s.Leaves <= 0 {
+		t.Errorf("node counts not populated: %+v", s)
+	}
+	if s.MemoryBytes <= len(rs)*softwareRuleBytes {
+		t.Errorf("memory %d should exceed bare ruleset storage", s.MemoryBytes)
+	}
+	if s.CutEvaluations == 0 || s.RuleChildOps == 0 || s.RulePushes == 0 {
+		t.Errorf("work counters not populated: %+v", s)
+	}
+	if s.MaxDepth < 1 {
+		t.Errorf("depth %d", s.MaxDepth)
+	}
+	if tr.NumRules() != 500 {
+		t.Errorf("NumRules = %d", tr.NumRules())
+	}
+}
+
+func TestWorstCaseAccessesBoundsObserved(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 300, 6)
+	tr, err := Build(rs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := tr.WorstCaseAccesses()
+	trace := classbench.GenerateTrace(rs, 2000, 6)
+	maxObserved := 0
+	for _, p := range trace {
+		_, acc := tr.ClassifyTraced(p, nil)
+		if acc > maxObserved {
+			maxObserved = acc
+		}
+	}
+	if maxObserved > worst {
+		t.Errorf("observed %d accesses exceeds declared worst case %d", maxObserved, worst)
+	}
+	if worst <= 0 {
+		t.Errorf("worst case %d", worst)
+	}
+}
+
+func TestClassifyTracedEmitsAccesses(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 200, 2)
+	tr, err := Build(rs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := classbench.GenerateTrace(rs, 1, 3)[0]
+	var traced int
+	_, acc := tr.ClassifyTraced(p, func(addr, size uint32) { traced++ })
+	if traced != acc {
+		t.Errorf("trace callback fired %d times, access count %d", traced, acc)
+	}
+	if acc == 0 {
+		t.Error("no accesses recorded")
+	}
+}
+
+func TestSpfacTradesMemoryForDepth(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 800, 5)
+	small, err := Build(rs, Config{Binth: 16, Spfac: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Build(rs, Config{Binth: 16, Spfac: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Stats().MemoryBytes < small.Stats().MemoryBytes {
+		t.Errorf("spfac=8 memory %d < spfac=1.5 memory %d; larger spfac should allow more cuts",
+			big.Stats().MemoryBytes, small.Stats().MemoryBytes)
+	}
+}
+
+func TestCutInterval(t *testing.T) {
+	r := rule.Range{Lo: 0, Hi: 255}
+	if got := cutInterval(r, 4, 0); got != (rule.Range{Lo: 0, Hi: 63}) {
+		t.Errorf("child 0 = %+v", got)
+	}
+	if got := cutInterval(r, 4, 3); got != (rule.Range{Lo: 192, Hi: 255}) {
+		t.Errorf("child 3 = %+v", got)
+	}
+	// Full 32-bit range must not overflow.
+	full := rule.FullRange(rule.DimSrcIP)
+	if got := cutInterval(full, 2, 1); got != (rule.Range{Lo: 0x80000000, Hi: 0xFFFFFFFF}) {
+		t.Errorf("32-bit child 1 = %+v", got)
+	}
+}
+
+func TestChildSpan(t *testing.T) {
+	r := rule.Range{Lo: 0, Hi: 255}
+	c1, c2, ok := childSpan(rule.Range{Lo: 60, Hi: 130}, r, 4)
+	if !ok || c1 != 0 || c2 != 2 {
+		t.Errorf("got (%d,%d,%v), want (0,2,true)", c1, c2, ok)
+	}
+	if _, _, ok := childSpan(rule.Range{Lo: 300, Hi: 400}, r, 4); ok {
+		t.Error("non-overlapping range reported as overlapping")
+	}
+	// Range clipped to region.
+	c1, c2, ok = childSpan(rule.Range{Lo: 0, Hi: 1000}, rule.Range{Lo: 128, Hi: 255}, 2)
+	if !ok || c1 != 0 || c2 != 1 {
+		t.Errorf("clipped span = (%d,%d,%v)", c1, c2, ok)
+	}
+}
+
+func TestLeafDeduplication(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 500, 8)
+	tr, err := Build(rs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count leaf references vs distinct leaves.
+	refs, distinct := 0, map[*Node]bool{}
+	var walk func(n *Node)
+	seen := map[*Node]bool{}
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.Leaf {
+			refs++
+			distinct[n] = true
+			return
+		}
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tr.Root)
+	if len(distinct) > refs {
+		t.Fatal("impossible: more distinct leaves than references")
+	}
+	if tr.Stats().Leaves != len(distinct) {
+		t.Errorf("stats.Leaves=%d distinct=%d", tr.Stats().Leaves, len(distinct))
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	rs := classbench.Generate(classbench.IPC1(), 300, 12)
+	a, err := Build(rs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(rs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("two builds of the same input differ:\n%+v\n%+v", a.Stats(), b.Stats())
+	}
+}
+
+func forEachNode(root *Node, fn func(*Node)) {
+	seen := map[*Node]bool{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		fn(n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+}

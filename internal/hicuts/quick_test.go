@@ -1,0 +1,71 @@
+package hicuts
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rule"
+)
+
+// Property: for arbitrary small random rulesets (shapes the ClassBench
+// generator never produces — duplicates-modulo-one-field, nested ranges,
+// all-wildcard sets), the tree agrees with the linear scan.
+func TestQuickRandomRulesetsAgreeWithLinear(t *testing.T) {
+	f := func(seed int64, nRules uint8, sip, dip uint32, sp, dp uint16, pr uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRules%50) + 1
+		rs := make(rule.RuleSet, 0, n)
+		for i := 0; i < n; i++ {
+			loS := uint32(rng.Intn(65536))
+			hiS := loS + uint32(rng.Intn(int(65536-loS)))
+			loD := uint32(rng.Intn(65536))
+			hiD := loD + uint32(rng.Intn(int(65536-loD)))
+			rs = append(rs, rule.New(i,
+				rng.Uint32(), rng.Intn(33), rng.Uint32(), rng.Intn(33),
+				rule.Range{Lo: loS, Hi: hiS}, rule.Range{Lo: loD, Hi: hiD},
+				uint8(rng.Intn(256)), rng.Intn(3) == 0))
+		}
+		tr, err := Build(rs, Config{Binth: 1 + rng.Intn(8), Spfac: 1 + rng.Float64()*6})
+		if err != nil {
+			return false
+		}
+		probe := rule.Packet{SrcIP: sip, DstIP: dip, SrcPort: sp, DstPort: dp, Proto: pr}
+		if tr.Classify(probe) != rs.Match(probe) {
+			return false
+		}
+		// A packet inside a random rule must resolve identically too.
+		r := &rs[rng.Intn(n)]
+		inside := rule.Packet{
+			SrcIP:   r.F[rule.DimSrcIP].Hi,
+			DstIP:   r.F[rule.DimDstIP].Lo,
+			SrcPort: uint16(r.F[rule.DimSrcPort].Hi),
+			DstPort: uint16(r.F[rule.DimDstPort].Lo),
+			Proto:   uint8(r.F[rule.DimProto].Hi),
+		}
+		return tr.Classify(inside) == rs.Match(inside)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllWildcardRuleset(t *testing.T) {
+	// Degenerate: every rule identical wildcard — tree must be a single
+	// leaf and return the first rule for everything.
+	rs := rule.RuleSet{}
+	for i := 0; i < 10; i++ {
+		r := rule.New(i, 0, 0, 0, 0, rule.FullRange(rule.DimSrcPort), rule.FullRange(rule.DimDstPort), 0, true)
+		// Perturb one port bound so rules are distinct but overlapping.
+		r.F[rule.DimSrcPort] = rule.Range{Lo: 0, Hi: uint32(65535 - i)}
+		rs = append(rs, r)
+	}
+	tr, err := Build(rs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rule.Packet{SrcPort: 100}
+	if got := tr.Classify(p); got != 0 {
+		t.Errorf("got %d, want 0 (highest priority of overlapping rules)", got)
+	}
+}

@@ -1,0 +1,245 @@
+// Package hwsim is a cycle-accurate software model of the paper's packet
+// classification hardware accelerator (paper §4, Figures 4 and 5).
+//
+// The modelled datapath:
+//
+//   - A 4800-bit wide memory (up to 1024 words on the paper's device)
+//     delivering one full word per clock cycle.
+//   - Register A holds the decision tree's root node, transferred from
+//     memory word 0 in one cycle when Reset is asserted.
+//   - Register B latches the incoming packet when Start is asserted while
+//     Ready is high; the root child index is computed from registers A
+//     and B with the mask/shift/add datapath (no memory access).
+//   - Internal-node traversal reads one memory word per cycle; the word's
+//     mask/shift header and the packet in register B select the next cut
+//     entry combinationally.
+//   - When a leaf is reached the packet moves to register C and 30
+//     parallel comparators search one memory word of rules per cycle; the
+//     Ready pin rises during the compare so the next packet can be
+//     latched into register B and its root index precomputed. This
+//     overlap hides one cycle per packet — the accelerator classifies one
+//     packet per clock when the worst-case path is two cycles.
+//
+// Because the simulator interprets the encoded memory image (the same
+// bits a VHDL implementation would read), its results are checked in
+// tests against the analytical Eq. 5/7 predictions of internal/core.
+//
+// Mapping to paper Figure 4:
+//
+//	Figure 4 component          -> code
+//	Main memory (134 BRAMs)     -> core.Image.Words ([][]byte, 600 B each)
+//	Reg A (root node)           -> Sim.regA (core.NodeWord)
+//	Reg B (incoming packet)     -> FSM.regB (pipeline.go)
+//	Reg C (packet in compare)   -> FSM.regC
+//	Mask/shift/add unit         -> core.NodeWord.Index
+//	30 comparator blocks        -> core.EncodedRule.MatchesPacket per slot
+//	Start/Ready pins            -> FSM.Step arguments / FSM.Ready
+//	Write interface             -> Sim.LoadCycles (one word per cycle)
+//
+// The flow chart of Figure 5 is implemented state-for-state in
+// pipeline.go (FSM.Step).
+package hwsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rule"
+)
+
+// Device describes an implementation target of the accelerator. The two
+// predefined devices carry the post-place-and-route figures of paper
+// Table 5; power values are the normalized (65 nm, 1 V) numbers so energy
+// comparisons against the SA-1100 software model are like-for-like.
+type Device struct {
+	// Name identifies the device.
+	Name string
+	// FreqHz is the operating clock frequency.
+	FreqHz float64
+	// PowerW is the normalized average power drawn while classifying.
+	PowerW float64
+	// IncludesMemory records whether PowerW covers the search-structure
+	// memory (true for the FPGA figure, false for ASIC/SA-1100; paper
+	// §5.1 notes the asymmetry).
+	IncludesMemory bool
+	// MemoryWords is the device's search-structure capacity in 4800-bit
+	// words; 0 selects the paper's baseline of 1024 (614,400 bytes).
+	MemoryWords int
+}
+
+// Capacity returns the device's memory capacity in words.
+func (d Device) Capacity() int {
+	if d.MemoryWords > 0 {
+		return d.MemoryWords
+	}
+	return core.DeviceWords
+}
+
+// Predefined devices (paper Table 5).
+var (
+	// FPGA is the Xilinx Virtex5SX95T implementation: 77 MHz, 1.811 W
+	// including block RAM, 3280 slices, 134 block RAMs.
+	FPGA = Device{Name: "Virtex5SX95T", FreqHz: 77e6, PowerW: 1.811, IncludesMemory: true}
+	// ASIC is the TSMC 65 nm implementation: 226 MHz, 18.32 mW
+	// normalized datapath power, 51,488 NAND-equivalent gates.
+	ASIC = Device{Name: "ASIC-65nm", FreqHz: 226e6, PowerW: 0.01832}
+	// FPGALarge is the paper's §3 scale-up option: "this could easily be
+	// doubled to 2048 memory words and implemented on devices such as
+	// the Virtex XC5VLX330T which can store up to 1,458,000 bytes"
+	// (2430 words). The paper reports no power figure for this part;
+	// the SX95T figure is reused here as a lower bound, so energy
+	// numbers for this device are indicative only.
+	FPGALarge = Device{Name: "VirtexXC5VLX330T", FreqHz: 77e6, PowerW: 1.811,
+		IncludesMemory: true, MemoryWords: 1458000 / core.WordBytes}
+)
+
+// EnergyPerCycleJ returns the device's energy per clock cycle.
+func (d Device) EnergyPerCycleJ() float64 { return d.PowerW / d.FreqHz }
+
+// Sim is an accelerator instance with a loaded search structure.
+type Sim struct {
+	img *core.Image
+	dev Device
+
+	// regA caches the decoded root node (register A).
+	regA core.NodeWord
+}
+
+// New loads the encoded image into a simulated accelerator. The load
+// models the shared write interface: one word per cycle through the
+// write_enable/write_address port.
+func New(img *core.Image, dev Device) (*Sim, error) {
+	if len(img.Words) == 0 {
+		return nil, fmt.Errorf("hwsim: empty image")
+	}
+	if len(img.Words) > dev.Capacity() {
+		return nil, fmt.Errorf("hwsim: image needs %d words; %s holds %d (paper §3 suggests larger parts such as the XC5VLX330T)",
+			len(img.Words), dev.Name, dev.Capacity())
+	}
+	s := &Sim{img: img, dev: dev}
+	s.regA = core.LoadNode(img.Words[0]) // Reset: root -> register A
+	return s, nil
+}
+
+// LoadCycles is the number of cycles the write interface needs to store
+// the search structure (one word per cycle) plus the root transfer.
+func (s *Sim) LoadCycles() int64 { return int64(len(s.img.Words)) + 1 }
+
+// Result is the outcome of classifying one packet.
+type Result struct {
+	// Match is the matching rule ID, or -1.
+	Match int
+	// MemReads is the number of memory words read: internal nodes after
+	// the root plus leaf words scanned.
+	MemReads int
+	// LatencyCycles is the unpipelined latency: one cycle of root-index
+	// computation plus one cycle per memory read (Eqs. 5 and 7).
+	LatencyCycles int
+}
+
+// ClassifyOne runs a single packet through the datapath.
+func (s *Sim) ClassifyOne(p rule.Packet) Result {
+	res := Result{Match: -1}
+	// Cycle 1: root child index from registers A and B.
+	entry := core.LoadEntry(s.img.Words[0], s.regA.Index(p))
+	// Internal traversal: one word read per cycle.
+	for !entry.IsLeaf {
+		w := s.img.Words[entry.Word]
+		res.MemReads++
+		node := core.LoadNode(w)
+		entry = core.LoadEntry(w, node.Index(p))
+	}
+	// Leaf search: one word per cycle, 30 comparators in parallel; the
+	// leaf's window runs from the entry position to the end-flagged slot.
+	word, pos := entry.Word, entry.Pos
+	for {
+		w := s.img.Words[word]
+		res.MemReads++
+		endSeen := false
+		for slot := pos; slot < core.RulesPerWord; slot++ {
+			er := core.LoadRule(w, slot)
+			if er.MatchesPacket(p) {
+				res.Match = int(er.ID)
+				res.LatencyCycles = res.MemReads + 1
+				return res
+			}
+			if er.End {
+				endSeen = true
+				break
+			}
+		}
+		if endSeen {
+			break
+		}
+		word++
+		pos = 0
+	}
+	res.LatencyCycles = res.MemReads + 1
+	return res
+}
+
+// Stats aggregates a trace run.
+type Stats struct {
+	Packets  int64
+	Matched  int64
+	MemReads int64
+	// Cycles is the total pipelined cycle count for the stream: the
+	// reset cycle, the first packet's root cycle, then one cycle per
+	// memory read (root computations of later packets overlap the leaf
+	// search of their predecessors, paper §4).
+	Cycles int64
+	// WorstLatency is the largest single-packet latency observed.
+	WorstLatency int
+	// AvgCyclesPerPacket is the sustained pipelined cost per packet.
+	AvgCyclesPerPacket float64
+	// PacketsPerSecond is the throughput at the device clock (Table 7).
+	PacketsPerSecond float64
+	// EnergyPerPacketJ is the average classification energy (Table 6).
+	EnergyPerPacketJ float64
+	// TotalEnergyJ is energy over the whole stream.
+	TotalEnergyJ float64
+}
+
+// Run classifies every packet of trace and returns per-packet matches
+// along with aggregate statistics.
+func (s *Sim) Run(trace []rule.Packet) ([]int, Stats) {
+	matches := make([]int, len(trace))
+	var st Stats
+	st.Cycles = 2 // reset (root -> register A) + first packet's root cycle
+	for i, p := range trace {
+		r := s.ClassifyOne(p)
+		matches[i] = r.Match
+		st.Packets++
+		if r.Match >= 0 {
+			st.Matched++
+		}
+		st.MemReads += int64(r.MemReads)
+		st.Cycles += int64(r.MemReads) // root cycles overlap predecessors
+		if r.LatencyCycles > st.WorstLatency {
+			st.WorstLatency = r.LatencyCycles
+		}
+	}
+	if st.Packets > 0 {
+		st.AvgCyclesPerPacket = float64(st.Cycles-2) / float64(st.Packets)
+		seconds := float64(st.Cycles) / s.dev.FreqHz
+		st.PacketsPerSecond = float64(st.Packets) / seconds
+		st.TotalEnergyJ = float64(st.Cycles) * s.dev.EnergyPerCycleJ()
+		st.EnergyPerPacketJ = st.TotalEnergyJ / float64(st.Packets)
+	}
+	return matches, st
+}
+
+// WorstCaseThroughputPPS returns the guaranteed minimum throughput for a
+// structure with the given worst-case cycle count (paper §5.2: the worst
+// case also bounds the sustainable rate; the pipeline overlap saves one
+// cycle).
+func WorstCaseThroughputPPS(dev Device, worstCaseCycles int) float64 {
+	eff := worstCaseCycles - 1
+	if eff < 1 {
+		eff = 1
+	}
+	return dev.FreqHz / float64(eff)
+}
+
+// Device returns the simulated device.
+func (s *Sim) Device() Device { return s.dev }

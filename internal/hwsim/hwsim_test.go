@@ -1,0 +1,207 @@
+package hwsim
+
+import (
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+	"repro/internal/rule"
+)
+
+func buildSim(t *testing.T, algo core.Algorithm, prof classbench.Profile, n int, speed int, dev Device) (*Sim, *core.Tree, rule.RuleSet) {
+	t.Helper()
+	rs := classbench.Generate(prof, n, 71)
+	cfg := core.DefaultConfig(algo)
+	cfg.Speed = speed
+	tr, err := core.Build(rs, cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	img, err := tr.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	sim, err := New(img, dev)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return sim, tr, rs
+}
+
+func TestSimMatchesLinear(t *testing.T) {
+	for _, algo := range []core.Algorithm{core.HiCuts, core.HyperCuts} {
+		for _, prof := range []classbench.Profile{classbench.ACL1(), classbench.FW1(), classbench.IPC1()} {
+			sim, _, rs := buildSim(t, algo, prof, 300, 1, ASIC)
+			for i, p := range classbench.GenerateTrace(rs, 2000, 72) {
+				if got, want := sim.ClassifyOne(p).Match, rs.Match(p); got != want {
+					t.Fatalf("%v/%s packet %d: sim=%d linear=%d", algo, prof.Name, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSimLatencyMatchesWalkPrediction(t *testing.T) {
+	// The simulator's measured latency must equal the analytical
+	// Eq. 5/7 cycle prediction from the logical tree, for both speeds.
+	for _, speed := range []int{0, 1} {
+		sim, tr, rs := buildSim(t, core.HyperCuts, classbench.ACL1(), 500, speed, ASIC)
+		for i, p := range classbench.GenerateTrace(rs, 3000, 73) {
+			r := sim.ClassifyOne(p)
+			pi := tr.Walk(p)
+			if r.LatencyCycles != pi.Cycles() {
+				t.Fatalf("speed %d packet %d: sim latency %d, Eq. prediction %d (internal=%d leafwords=%d)",
+					speed, i, r.LatencyCycles, pi.Cycles(), pi.Internal, pi.LeafWords)
+			}
+			if r.Match != pi.Match {
+				t.Fatalf("speed %d packet %d: match mismatch sim=%d walk=%d", speed, i, r.Match, pi.Match)
+			}
+		}
+	}
+}
+
+func TestWorstCaseBoundsSimLatency(t *testing.T) {
+	sim, tr, rs := buildSim(t, core.HiCuts, classbench.FW1(), 400, 1, ASIC)
+	worst := tr.WorstCaseCycles()
+	for _, p := range classbench.GenerateTrace(rs, 3000, 74) {
+		if r := sim.ClassifyOne(p); r.LatencyCycles > worst {
+			t.Fatalf("latency %d exceeds worst case %d", r.LatencyCycles, worst)
+		}
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	sim, _, rs := buildSim(t, core.HyperCuts, classbench.ACL1(), 300, 1, FPGA)
+	trace := classbench.GenerateTrace(rs, 5000, 75)
+	matches, st := sim.Run(trace)
+	if len(matches) != len(trace) || st.Packets != int64(len(trace)) {
+		t.Fatalf("packet accounting wrong")
+	}
+	if st.Matched == 0 || st.Matched > st.Packets {
+		t.Fatalf("matched=%d", st.Matched)
+	}
+	if st.AvgCyclesPerPacket < 1 {
+		t.Errorf("avg cycles/packet %.2f < 1", st.AvgCyclesPerPacket)
+	}
+	// Throughput can never exceed one packet per cycle.
+	if st.PacketsPerSecond > FPGA.FreqHz+1 {
+		t.Errorf("throughput %.0f exceeds clock %.0f", st.PacketsPerSecond, FPGA.FreqHz)
+	}
+	// Energy per packet = avg cycles * energy/cycle (within rounding of
+	// the 2 setup cycles).
+	approx := st.AvgCyclesPerPacket * FPGA.EnergyPerCycleJ()
+	if st.EnergyPerPacketJ < approx*0.9 || st.EnergyPerPacketJ > approx*1.2 {
+		t.Errorf("energy/packet %.3e vs approx %.3e", st.EnergyPerPacketJ, approx)
+	}
+}
+
+func TestASICFasterAndLowerEnergyThanFPGA(t *testing.T) {
+	simA, _, rs := buildSim(t, core.HyperCuts, classbench.ACL1(), 300, 1, ASIC)
+	simF, _, _ := buildSim(t, core.HyperCuts, classbench.ACL1(), 300, 1, FPGA)
+	trace := classbench.GenerateTrace(rs, 3000, 76)
+	_, stA := simA.Run(trace)
+	_, stF := simF.Run(trace)
+	if stA.PacketsPerSecond <= stF.PacketsPerSecond {
+		t.Errorf("ASIC %.0f pps should beat FPGA %.0f pps", stA.PacketsPerSecond, stF.PacketsPerSecond)
+	}
+	if stA.EnergyPerPacketJ >= stF.EnergyPerPacketJ {
+		t.Errorf("ASIC energy %.3e should undercut FPGA %.3e", stA.EnergyPerPacketJ, stF.EnergyPerPacketJ)
+	}
+}
+
+func TestOnePacketPerCycleWhenWorstCaseIs2(t *testing.T) {
+	// Paper §4: if the worst case is 2 cycles the accelerator sustains
+	// one packet per clock. Build a tiny set whose tree is root+leaf.
+	rs := classbench.Generate(classbench.ACL1(), 10, 77)
+	tr, err := core.Build(rs, core.DefaultConfig(core.HiCuts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.WorstCaseCycles() != 2 {
+		t.Skipf("tree worst case %d, want 2 for this test", tr.WorstCaseCycles())
+	}
+	img, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(img, ASIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := classbench.GenerateTrace(rs, 2000, 78)
+	_, st := sim.Run(trace)
+	if st.AvgCyclesPerPacket > 1.01 {
+		t.Errorf("avg %.3f cycles/packet; want ~1 when worst case is 2", st.AvgCyclesPerPacket)
+	}
+	if got := WorstCaseThroughputPPS(ASIC, 2); got != ASIC.FreqHz {
+		t.Errorf("worst-case throughput %.0f, want %.0f", got, ASIC.FreqHz)
+	}
+}
+
+func TestWorstCaseThroughputFloor(t *testing.T) {
+	if got := WorstCaseThroughputPPS(ASIC, 1); got != ASIC.FreqHz {
+		t.Errorf("floor broken: %.0f", got)
+	}
+	if got := WorstCaseThroughputPPS(FPGA, 5); got != FPGA.FreqHz/4 {
+		t.Errorf("5-cycle worst case: %.0f", got)
+	}
+}
+
+func TestDeviceCapacityEnforced(t *testing.T) {
+	img := &core.Image{Words: make([][]byte, core.DeviceWords+1)}
+	for i := range img.Words {
+		img.Words[i] = make([]byte, core.WordBytes)
+	}
+	if _, err := New(img, ASIC); err == nil {
+		t.Error("oversized image accepted")
+	}
+	if _, err := New(&core.Image{}, ASIC); err == nil {
+		t.Error("empty image accepted")
+	}
+}
+
+func TestLoadCycles(t *testing.T) {
+	sim, tr, _ := buildSim(t, core.HiCuts, classbench.ACL1(), 200, 1, ASIC)
+	if sim.LoadCycles() != int64(tr.Words())+1 {
+		t.Errorf("LoadCycles=%d words=%d", sim.LoadCycles(), tr.Words())
+	}
+}
+
+func TestPaperDeviceConstants(t *testing.T) {
+	if FPGA.FreqHz != 77e6 || ASIC.FreqHz != 226e6 {
+		t.Error("device frequencies drifted from Table 5")
+	}
+	// ASIC normalized energy/cycle ~ 8.1e-11 J (18.32 mW / 226 MHz); the
+	// paper's Table 6 ASIC entries are in the 7.3e-11..2.1e-10 band.
+	e := ASIC.EnergyPerCycleJ()
+	if e < 7e-11 || e > 9e-11 {
+		t.Errorf("ASIC energy/cycle %.3e outside expected band", e)
+	}
+	// FPGA energy/cycle ~ 2.35e-8 J, matching Table 6's ~2.4e-8 entries.
+	e = FPGA.EnergyPerCycleJ()
+	if e < 2.2e-8 || e > 2.5e-8 {
+		t.Errorf("FPGA energy/cycle %.3e outside expected band", e)
+	}
+}
+
+func TestLargeDeviceCapacity(t *testing.T) {
+	// A structure above 1024 words must be rejected by the baseline
+	// device but accepted by the XC5VLX330T scale-up option (paper §3).
+	words := core.DeviceWords + 100
+	img := &core.Image{Words: make([][]byte, words), NumInternal: 1}
+	for i := range img.Words {
+		img.Words[i] = make([]byte, core.WordBytes)
+	}
+	if _, err := New(img, FPGA); err == nil {
+		t.Error("baseline device accepted an oversized image")
+	}
+	if _, err := New(img, FPGALarge); err != nil {
+		t.Errorf("large device rejected a %d-word image: %v", words, err)
+	}
+	if FPGALarge.Capacity() != 1458000/core.WordBytes {
+		t.Errorf("large device capacity %d", FPGALarge.Capacity())
+	}
+	if FPGA.Capacity() != core.DeviceWords {
+		t.Errorf("baseline capacity %d", FPGA.Capacity())
+	}
+}

@@ -1,0 +1,75 @@
+package hypercuts
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rule"
+)
+
+// Property: arbitrary random rulesets classify identically to the linear
+// scan, with region compaction and push-common-subsets active (the two
+// heuristics most prone to subtle routing errors).
+func TestQuickRandomRulesetsAgreeWithLinear(t *testing.T) {
+	f := func(seed int64, nRules uint8, sip, dip uint32, sp, dp uint16, pr uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRules%50) + 1
+		rs := make(rule.RuleSet, 0, n)
+		for i := 0; i < n; i++ {
+			loS := uint32(rng.Intn(65536))
+			hiS := loS + uint32(rng.Intn(int(65536-loS)))
+			loD := uint32(rng.Intn(65536))
+			hiD := loD + uint32(rng.Intn(int(65536-loD)))
+			rs = append(rs, rule.New(i,
+				rng.Uint32(), rng.Intn(33), rng.Uint32(), rng.Intn(33),
+				rule.Range{Lo: loS, Hi: hiS}, rule.Range{Lo: loD, Hi: hiD},
+				uint8(rng.Intn(256)), rng.Intn(3) == 0))
+		}
+		cfg := Config{Binth: 1 + rng.Intn(8), Spfac: 1 + rng.Float64()*6}
+		tr, err := Build(rs, cfg)
+		if err != nil {
+			return false
+		}
+		probe := rule.Packet{SrcIP: sip, DstIP: dip, SrcPort: sp, DstPort: dp, Proto: pr}
+		if tr.Classify(probe) != rs.Match(probe) {
+			return false
+		}
+		r := &rs[rng.Intn(n)]
+		inside := rule.Packet{
+			SrcIP:   r.F[rule.DimSrcIP].Lo,
+			DstIP:   r.F[rule.DimDstIP].Hi,
+			SrcPort: uint16(r.F[rule.DimSrcPort].Lo),
+			DstPort: uint16(r.F[rule.DimDstPort].Hi),
+			Proto:   uint8(r.F[rule.DimProto].Lo),
+		}
+		return tr.Classify(inside) == rs.Match(inside)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacketOutsideCompactedRegion(t *testing.T) {
+	// All rules live in a small corner of the space; a packet far outside
+	// the compacted region must cleanly miss (the compaction early-exit).
+	rs := rule.RuleSet{
+		rule.New(0, 0x0A000000, 16, 0x0A000000, 16, rule.Range{Lo: 10, Hi: 20}, rule.Range{Lo: 10, Hi: 20}, 6, false),
+		rule.New(1, 0x0A010000, 16, 0x0A010000, 16, rule.Range{Lo: 10, Hi: 20}, rule.Range{Lo: 10, Hi: 20}, 6, false),
+		rule.New(2, 0x0A020000, 16, 0x0A020000, 16, rule.Range{Lo: 10, Hi: 20}, rule.Range{Lo: 10, Hi: 20}, 6, false),
+		rule.New(3, 0x0A030000, 16, 0x0A030000, 16, rule.Range{Lo: 10, Hi: 20}, rule.Range{Lo: 10, Hi: 20}, 6, false),
+		rule.New(4, 0x0A040000, 16, 0x0A040000, 16, rule.Range{Lo: 10, Hi: 20}, rule.Range{Lo: 10, Hi: 20}, 6, false),
+	}
+	tr, err := Build(rs, Config{Binth: 2, Spfac: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outside := rule.Packet{SrcIP: 0xF0000000, DstIP: 0xF0000000, SrcPort: 15, DstPort: 15, Proto: 6}
+	if got := tr.Classify(outside); got != -1 {
+		t.Errorf("packet outside all rules matched %d", got)
+	}
+	inside := rule.Packet{SrcIP: 0x0A020001, DstIP: 0x0A020002, SrcPort: 15, DstPort: 15, Proto: 6}
+	if got := tr.Classify(inside); got != 2 {
+		t.Errorf("inside packet got %d, want 2", got)
+	}
+}

@@ -1,0 +1,68 @@
+// Package linear provides the reference linear-search classifier. It is
+// deliberately the simplest possible implementation of first-match 5-tuple
+// classification and serves two roles in the reproduction:
+//
+//  1. Ground truth: every other classifier (HiCuts, HyperCuts, the
+//     hardware tree + simulator, RFC, TCAM) is property-tested against it.
+//  2. Cost floor/ceiling: it provides the per-packet memory-access count
+//     of the naive approach when fed through the SA-1100 cost model.
+package linear
+
+import "repro/internal/rule"
+
+// Classifier is a linear-scan first-match classifier.
+type Classifier struct {
+	rules rule.RuleSet
+}
+
+// New builds a linear classifier over rs. The ruleset is not copied; the
+// caller must not mutate it afterwards.
+func New(rs rule.RuleSet) *Classifier {
+	return &Classifier{rules: rs}
+}
+
+// Classify returns the ID of the highest-priority rule matching p, or -1.
+func (c *Classifier) Classify(p rule.Packet) int {
+	return c.rules.Match(p)
+}
+
+// ClassifyCounted behaves like Classify and additionally reports the number
+// of rules examined, which is the memory-access cost of the scan (each rule
+// examined is one rule-sized memory read).
+func (c *Classifier) ClassifyCounted(p rule.Packet) (match, examined int) {
+	for i := range c.rules {
+		examined++
+		if c.rules[i].Matches(p) {
+			return c.rules[i].ID, examined
+		}
+	}
+	return -1, examined
+}
+
+// ClassifyTraced classifies p while reporting each rule read to trace,
+// using the packed 20-byte software rule size at consecutive addresses.
+// It implements the sa1100.TracedClassifier contract.
+func (c *Classifier) ClassifyTraced(p rule.Packet, trace func(addr, size uint32)) (match, accesses int) {
+	for i := range c.rules {
+		accesses++
+		if trace != nil {
+			trace(uint32(i*20), 20)
+		}
+		if c.rules[i].Matches(p) {
+			return c.rules[i].ID, accesses
+		}
+	}
+	return -1, accesses
+}
+
+// MemoryBytes reports the storage footprint of the ruleset using the same
+// software rule size accounting as the software decision trees (one rule
+// occupies RuleBytes bytes).
+func (c *Classifier) MemoryBytes() int { return len(c.rules) * RuleBytes }
+
+// RuleBytes is the software in-memory size of one rule: 5 ranges of two
+// 32-bit words plus a 32-bit rule ID.
+const RuleBytes = rule.NumDims*8 + 4
+
+// Len returns the number of rules.
+func (c *Classifier) Len() int { return len(c.rules) }

@@ -1,0 +1,51 @@
+package linear
+
+import (
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/rule"
+)
+
+func TestClassifyAgreesWithRuleSetMatch(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 200, 1)
+	c := New(rs)
+	trace := classbench.GenerateTrace(rs, 1000, 2)
+	for i, p := range trace {
+		if got, want := c.Classify(p), rs.Match(p); got != want {
+			t.Fatalf("packet %d: Classify=%d Match=%d", i, got, want)
+		}
+	}
+}
+
+func TestClassifyCounted(t *testing.T) {
+	rs := rule.RuleSet{
+		rule.New(0, 0, 0, 0, 0, rule.Range{Lo: 80, Hi: 80}, rule.FullRange(rule.DimDstPort), 0, true),
+		rule.New(1, 0, 0, 0, 0, rule.FullRange(rule.DimSrcPort), rule.FullRange(rule.DimDstPort), 0, true),
+	}
+	c := New(rs)
+	if m, n := c.ClassifyCounted(rule.Packet{SrcPort: 80}); m != 0 || n != 1 {
+		t.Errorf("got (%d,%d), want (0,1)", m, n)
+	}
+	if m, n := c.ClassifyCounted(rule.Packet{SrcPort: 81}); m != 1 || n != 2 {
+		t.Errorf("got (%d,%d), want (1,2)", m, n)
+	}
+}
+
+func TestClassifyCountedNoMatch(t *testing.T) {
+	rs := rule.RuleSet{rule.New(0, 0xC0000000, 8, 0, 0, rule.FullRange(rule.DimSrcPort), rule.FullRange(rule.DimDstPort), 0, true)}
+	c := New(rs)
+	if m, n := c.ClassifyCounted(rule.Packet{}); m != -1 || n != 1 {
+		t.Errorf("got (%d,%d), want (-1,1)", m, n)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	c := New(make(rule.RuleSet, 10))
+	if got := c.MemoryBytes(); got != 10*RuleBytes {
+		t.Errorf("MemoryBytes = %d, want %d", got, 10*RuleBytes)
+	}
+	if c.Len() != 10 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}

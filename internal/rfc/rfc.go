@@ -1,0 +1,337 @@
+// Package rfc implements Recursive Flow Classification (Gupta & McKeown,
+// SIGCOMM 1999), the fastest software classifier the paper compares its
+// accelerator against ("the hardware accelerator can classify up to 546
+// times more packets ... than the best performing software algorithm RFC
+// tested in [12]", §5.2).
+//
+// RFC reduces a 5-tuple lookup to a fixed pipeline of table indexings.
+// Phase 0 splits the header into seven chunks (two 16-bit halves of each
+// IP address, the two ports and the protocol) and maps each through a
+// table to an equivalence-class ID; later phases combine class IDs
+// pairwise through cross-product tables until one final class remains,
+// which is precomputed to the highest-priority matching rule.
+//
+// Preprocessing computes, for every chunk value, the bitmap of rules
+// whose projection onto the chunk contains that value; values with equal
+// bitmaps share an equivalence class. Cross-product tables intersect the
+// operand bitmaps and re-class the result.
+package rfc
+
+import (
+	"fmt"
+
+	"repro/internal/rule"
+)
+
+// chunk identifiers for phase 0.
+const (
+	chunkSrcHi = iota // srcIP[31:16]
+	chunkSrcLo        // srcIP[15:0]
+	chunkDstHi        // dstIP[31:16]
+	chunkDstLo        // dstIP[15:0]
+	chunkSrcPort
+	chunkDstPort
+	chunkProto
+	numChunks
+)
+
+var chunkBits = [numChunks]uint{16, 16, 16, 16, 16, 16, 8}
+
+// table is one equivalence-class mapping with a synthetic base address
+// for the cache model (entries are 2 bytes, the paper-era eqID width).
+type table struct {
+	entries []uint16
+	classes int
+	base    uint32
+}
+
+// Classifier is a built RFC structure.
+type Classifier struct {
+	phase0 [numChunks]*table
+
+	// Cross-product tables. p1src combines the two source IP chunks,
+	// p1dst the destination chunks, p1port the two ports; p2addr
+	// combines the IP results, p2portproto the port result with the
+	// protocol chunk; p3 yields the final class.
+	p1src, p1dst, p1port *table
+	p2addr, p2portproto  *table
+	p3                   *table
+
+	// widths for indexing the cross-product tables.
+	nSrcLo, nDstLo, nDstPort, nProto, nP1dst, nP2pp int
+
+	// result maps the final class to the matching rule ID (-1 = none).
+	result []int32
+
+	memoryBytes int
+	rules       int
+}
+
+// PreprocessStats reports construction work for the energy model.
+type PreprocessStats struct {
+	TableEntries int64 // total entries written across all tables
+	BitmapOps    int64 // bitset word operations during preprocessing
+	EquivClasses int   // total distinct classes across tables
+	MemoryBytes  int
+	FinalClasses int
+}
+
+// Build constructs the RFC tables for rs.
+func Build(rs rule.RuleSet) (*Classifier, *PreprocessStats, error) {
+	if err := rs.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("rfc: %w", err)
+	}
+	n := len(rs)
+	c := &Classifier{rules: n}
+	st := &PreprocessStats{}
+	var nextBase uint32
+
+	newTable := func(size int) *table {
+		t := &table{entries: make([]uint16, size), base: nextBase}
+		nextBase += uint32(size * 2)
+		st.TableEntries += int64(size)
+		return t
+	}
+
+	// ---- Phase 0: per-chunk equivalence classes via boundary sweep ----
+	var p0sets [numChunks][]bitset // class -> rule bitmap
+	for ch := 0; ch < numChunks; ch++ {
+		size := 1 << chunkBits[ch]
+		t := newTable(size)
+		ivals := make([][2]uint32, n)
+		for i := range rs {
+			ivals[i] = chunkInterval(&rs[i], ch)
+		}
+		sets := sweep(t.entries, ivals, n, st)
+		t.classes = len(sets)
+		c.phase0[ch] = t
+		p0sets[ch] = sets
+		st.EquivClasses += t.classes
+	}
+
+	// ---- Cross-product phases ----
+	cross := func(a, b []bitset) (*table, []bitset) {
+		t := newTable(len(a) * len(b))
+		seen := make(map[string]uint16)
+		var sets []bitset
+		for i, sa := range a {
+			for j, sb := range b {
+				inter := sa.and(sb, st)
+				key := inter.key()
+				id, ok := seen[key]
+				if !ok {
+					id = uint16(len(sets))
+					sets = append(sets, inter)
+					seen[key] = id
+				}
+				t.entries[i*len(b)+j] = id
+			}
+		}
+		t.classes = len(sets)
+		st.EquivClasses += t.classes
+		return t, sets
+	}
+
+	var s1src, s1dst, s1port, s2addr, s2pp, s3 []bitset
+	c.p1src, s1src = cross(p0sets[chunkSrcHi], p0sets[chunkSrcLo])
+	c.p1dst, s1dst = cross(p0sets[chunkDstHi], p0sets[chunkDstLo])
+	c.p1port, s1port = cross(p0sets[chunkSrcPort], p0sets[chunkDstPort])
+	c.p2addr, s2addr = cross(s1src, s1dst)
+	c.p2portproto, s2pp = cross(s1port, p0sets[chunkProto])
+	c.p3, s3 = cross(s2addr, s2pp)
+
+	c.nSrcLo = c.phase0[chunkSrcLo].classes
+	c.nDstLo = c.phase0[chunkDstLo].classes
+	c.nDstPort = c.phase0[chunkDstPort].classes
+	c.nProto = c.phase0[chunkProto].classes
+	c.nP1dst = c.p1dst.classes
+	c.nP2pp = c.p2portproto.classes
+
+	// ---- Final result table ----
+	c.result = make([]int32, len(s3))
+	for i, s := range s3 {
+		c.result[i] = int32(s.first())
+	}
+	st.FinalClasses = len(s3)
+
+	c.memoryBytes = int(nextBase) + len(c.result)*4
+	st.MemoryBytes = c.memoryBytes
+	return c, st, nil
+}
+
+// chunkInterval projects rule r onto chunk ch as an inclusive interval.
+// IP fields are prefixes, so each 16-bit half is either an interval (the
+// half containing the prefix boundary), an exact value, or a wildcard —
+// and the conjunction of the two halves equals the prefix match.
+func chunkInterval(r *rule.Rule, ch int) [2]uint32 {
+	switch ch {
+	case chunkSrcHi:
+		f := r.F[rule.DimSrcIP]
+		return [2]uint32{f.Lo >> 16, f.Hi >> 16}
+	case chunkSrcLo:
+		return lowHalf(r.F[rule.DimSrcIP])
+	case chunkDstHi:
+		f := r.F[rule.DimDstIP]
+		return [2]uint32{f.Lo >> 16, f.Hi >> 16}
+	case chunkDstLo:
+		return lowHalf(r.F[rule.DimDstIP])
+	case chunkSrcPort:
+		f := r.F[rule.DimSrcPort]
+		return [2]uint32{f.Lo, f.Hi}
+	case chunkDstPort:
+		f := r.F[rule.DimDstPort]
+		return [2]uint32{f.Lo, f.Hi}
+	case chunkProto:
+		f := r.F[rule.DimProto]
+		return [2]uint32{f.Lo, f.Hi}
+	}
+	panic("rfc: bad chunk")
+}
+
+// lowHalf projects a prefix range onto its low 16 bits: if the prefix
+// covers more than one high-half value the low half is a wildcard,
+// otherwise it is the range of low bits.
+func lowHalf(f rule.Range) [2]uint32 {
+	if f.Lo>>16 != f.Hi>>16 {
+		return [2]uint32{0, 0xFFFF}
+	}
+	return [2]uint32{f.Lo & 0xFFFF, f.Hi & 0xFFFF}
+}
+
+// sweep fills entries with equivalence-class IDs for one chunk and
+// returns the class bitmaps. Boundary sweep: class membership changes
+// only at interval endpoints.
+func sweep(entries []uint16, ivals [][2]uint32, n int, st *PreprocessStats) []bitset {
+	size := len(entries)
+	// Difference arrays of rule starts/ends per value.
+	starts := make([][]int32, size)
+	ends := make([][]int32, size)
+	for id, iv := range ivals {
+		starts[iv[0]] = append(starts[iv[0]], int32(id))
+		ends[iv[1]] = append(ends[iv[1]], int32(id))
+	}
+	cur := newBitset(n)
+	seen := make(map[string]uint16)
+	var sets []bitset
+	for v := 0; v < size; v++ {
+		for _, id := range starts[v] {
+			cur.set(int(id))
+		}
+		key := cur.key()
+		cls, ok := seen[key]
+		if !ok {
+			cls = uint16(len(sets))
+			sets = append(sets, cur.clone(st))
+			seen[key] = cls
+		}
+		entries[v] = cls
+		for _, id := range ends[v] {
+			cur.clear(int(id))
+		}
+	}
+	return sets
+}
+
+// MemoryBytes returns the total size of all RFC tables.
+func (c *Classifier) MemoryBytes() int { return c.memoryBytes }
+
+// NumRules returns the ruleset size.
+func (c *Classifier) NumRules() int { return c.rules }
+
+// Accesses is the fixed number of memory lookups per classification:
+// seven phase-0 chunks, three phase-1 tables, two phase-2 tables, the
+// phase-3 table and the result entry.
+const Accesses = numChunks + 3 + 2 + 1 + 1
+
+// Classify returns the highest-priority matching rule ID or -1.
+func (c *Classifier) Classify(p rule.Packet) int {
+	m, _ := c.ClassifyTraced(p, nil)
+	return m
+}
+
+// ClassifyTraced classifies p, reporting every table read (2-byte
+// entries) to trace; it implements the sa1100.TracedClassifier contract.
+func (c *Classifier) ClassifyTraced(p rule.Packet, trace func(addr, size uint32)) (match, accesses int) {
+	look := func(t *table, idx int) int {
+		accesses++
+		if trace != nil {
+			trace(t.base+uint32(idx*2), 2)
+		}
+		return int(t.entries[idx])
+	}
+	srcHi := look(c.phase0[chunkSrcHi], int(p.SrcIP>>16))
+	srcLo := look(c.phase0[chunkSrcLo], int(p.SrcIP&0xFFFF))
+	dstHi := look(c.phase0[chunkDstHi], int(p.DstIP>>16))
+	dstLo := look(c.phase0[chunkDstLo], int(p.DstIP&0xFFFF))
+	sp := look(c.phase0[chunkSrcPort], int(p.SrcPort))
+	dp := look(c.phase0[chunkDstPort], int(p.DstPort))
+	pr := look(c.phase0[chunkProto], int(p.Proto))
+
+	s1 := look(c.p1src, srcHi*c.nSrcLo+srcLo)
+	d1 := look(c.p1dst, dstHi*c.nDstLo+dstLo)
+	pp1 := look(c.p1port, sp*c.nDstPort+dp)
+
+	a2 := look(c.p2addr, s1*c.nP1dst+d1)
+	pp2 := look(c.p2portproto, pp1*c.nProto+pr)
+
+	f := look(c.p3, a2*c.nP2pp+pp2)
+	accesses++
+	if trace != nil {
+		trace(uint32(0xF0000000)+uint32(f*4), 2)
+	}
+	return int(c.result[f]), accesses
+}
+
+// ---- bitset ----
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)   { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) clear(i int) { b[i/64] &^= 1 << uint(i%64) }
+
+func (b bitset) clone(st *PreprocessStats) bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	if st != nil {
+		st.BitmapOps += int64(len(b))
+	}
+	return out
+}
+
+func (b bitset) and(o bitset, st *PreprocessStats) bitset {
+	out := make(bitset, len(b))
+	for i := range b {
+		out[i] = b[i] & o[i]
+	}
+	if st != nil {
+		st.BitmapOps += int64(len(b))
+	}
+	return out
+}
+
+// key returns a map key identifying the bitset contents.
+func (b bitset) key() string {
+	buf := make([]byte, len(b)*8)
+	for i, w := range b {
+		for j := 0; j < 8; j++ {
+			buf[i*8+j] = byte(w >> uint(8*j))
+		}
+	}
+	return string(buf)
+}
+
+// first returns the lowest set bit index, or -1.
+func (b bitset) first() int {
+	for i, w := range b {
+		if w != 0 {
+			for j := 0; j < 64; j++ {
+				if w&(1<<uint(j)) != 0 {
+					return i*64 + j
+				}
+			}
+		}
+	}
+	return -1
+}

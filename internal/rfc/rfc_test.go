@@ -1,0 +1,158 @@
+package rfc
+
+import (
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/rule"
+)
+
+func TestClassifyAgreesWithLinear(t *testing.T) {
+	for _, prof := range []classbench.Profile{classbench.ACL1(), classbench.FW1(), classbench.IPC1()} {
+		rs := classbench.Generate(prof, 250, 81)
+		c, _, err := Build(rs)
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		for i, p := range classbench.GenerateTrace(rs, 3000, 82) {
+			if got, want := c.Classify(p), rs.Match(p); got != want {
+				t.Fatalf("%s packet %d: rfc=%d linear=%d", prof.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestFixedAccessCount(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 150, 83)
+	c, _, err := Build(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range classbench.GenerateTrace(rs, 200, 84) {
+		_, acc := c.ClassifyTraced(p, nil)
+		if acc != Accesses {
+			t.Fatalf("accesses = %d, want the fixed %d", acc, Accesses)
+		}
+	}
+	if Accesses != 14 {
+		t.Errorf("pipeline depth changed: %d", Accesses)
+	}
+}
+
+func TestTraceCallbackFires(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 100, 85)
+	c, _, err := Build(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	_, acc := c.ClassifyTraced(rule.Packet{}, func(a, s uint32) { fired++ })
+	if fired != acc {
+		t.Errorf("callback fired %d, accesses %d", fired, acc)
+	}
+}
+
+func TestPreprocessStats(t *testing.T) {
+	rs := classbench.Generate(classbench.IPC1(), 200, 86)
+	c, st, err := Build(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TableEntries <= 0 || st.BitmapOps <= 0 || st.EquivClasses <= 0 || st.FinalClasses <= 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+	if c.MemoryBytes() <= 0 || st.MemoryBytes != c.MemoryBytes() {
+		t.Errorf("memory accounting inconsistent: %d vs %d", c.MemoryBytes(), st.MemoryBytes)
+	}
+	if c.NumRules() != 200 {
+		t.Errorf("NumRules = %d", c.NumRules())
+	}
+	// Phase-0 tables alone are 6*64k + 256 2-byte entries.
+	if c.MemoryBytes() < (6*65536+256)*2 {
+		t.Errorf("memory %d below phase-0 floor", c.MemoryBytes())
+	}
+}
+
+func TestEmptyAndSingleRule(t *testing.T) {
+	c, _, err := Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Classify(rule.Packet{SrcIP: 123}); got != -1 {
+		t.Errorf("empty set matched %d", got)
+	}
+
+	rs := rule.RuleSet{rule.New(0, 0x0A000000, 8, 0xC0000000, 4, rule.Range{Lo: 0, Hi: 65535}, rule.Range{Lo: 80, Hi: 80}, 6, false)}
+	c, _, err = Build(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := rule.Packet{SrcIP: 0x0A0B0C0D, DstIP: 0xC1111111, DstPort: 80, Proto: 6}
+	if got := c.Classify(hit); got != 0 {
+		t.Errorf("got %d, want 0", got)
+	}
+	miss := hit
+	miss.DstPort = 81
+	if got := c.Classify(miss); got != -1 {
+		t.Errorf("got %d, want -1", got)
+	}
+}
+
+func TestFirstMatchPriority(t *testing.T) {
+	// Two overlapping rules; RFC must return the lower ID.
+	rs := rule.RuleSet{
+		rule.New(0, 0x0A000000, 8, 0, 0, rule.FullRange(rule.DimSrcPort), rule.FullRange(rule.DimDstPort), 0, true),
+		rule.New(1, 0, 0, 0, 0, rule.FullRange(rule.DimSrcPort), rule.FullRange(rule.DimDstPort), 0, true),
+	}
+	c, _, err := Build(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Classify(rule.Packet{SrcIP: 0x0A000001}); got != 0 {
+		t.Errorf("overlap priority: got %d, want 0", got)
+	}
+	if got := c.Classify(rule.Packet{SrcIP: 0x0B000001}); got != 1 {
+		t.Errorf("fallback: got %d, want 1", got)
+	}
+}
+
+func TestLowHalfProjection(t *testing.T) {
+	// Prefix shorter than 16 bits -> low half wildcard.
+	if got := lowHalf(rule.PrefixRange(0x0A000000, 8, 32)); got != [2]uint32{0, 0xFFFF} {
+		t.Errorf("short prefix low half = %v", got)
+	}
+	// Prefix longer than 16 bits -> interval within one high value.
+	if got := lowHalf(rule.PrefixRange(0x0A0B0C00, 24, 32)); got != [2]uint32{0x0C00, 0x0CFF} {
+		t.Errorf("long prefix low half = %v", got)
+	}
+	// Host route.
+	if got := lowHalf(rule.PrefixRange(0x0A0B0C0D, 32, 32)); got != [2]uint32{0x0C0D, 0x0C0D} {
+		t.Errorf("host low half = %v", got)
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	b := newBitset(130)
+	b.set(0)
+	b.set(129)
+	if b.first() != 0 {
+		t.Error("first broken")
+	}
+	b.clear(0)
+	if b.first() != 129 {
+		t.Errorf("first after clear = %d", b.first())
+	}
+	o := newBitset(130)
+	o.set(129)
+	o.set(64)
+	and := b.and(o, nil)
+	if and.first() != 129 {
+		t.Errorf("and.first = %d", and.first())
+	}
+	if newBitset(130).first() != -1 {
+		t.Error("empty first should be -1")
+	}
+	if b.key() == o.key() {
+		t.Error("distinct bitsets share a key")
+	}
+}

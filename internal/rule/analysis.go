@@ -1,0 +1,145 @@
+package rule
+
+// Ruleset analysis utilities: structural statistics and redundancy
+// detection. Control planes use these before loading a ruleset into the
+// accelerator — a shadowed rule wastes a 160-bit leaf slot in every leaf
+// it replicates into, and overlap statistics predict decision-tree
+// replication cost.
+
+// Contains reports whether r covers s entirely (every packet matching s
+// also matches r).
+func (r *Rule) Contains(s *Rule) bool {
+	for d := 0; d < NumDims; d++ {
+		if r.F[d].Lo > s.F[d].Lo || r.F[d].Hi < s.F[d].Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// OverlapsRule reports whether the two rules' hypercubes intersect (some
+// packet could match both).
+func (r *Rule) OverlapsRule(s *Rule) bool {
+	for d := 0; d < NumDims; d++ {
+		if !r.F[d].Overlaps(s.F[d]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Shadowed returns the IDs of rules that can never match because an
+// earlier (higher-priority) rule fully covers them. Pairwise containment
+// is a sound under-approximation: a rule covered by the union of several
+// earlier rules but no single one is not reported.
+func (rs RuleSet) Shadowed() []int {
+	var out []int
+	for i := 1; i < len(rs); i++ {
+		for j := 0; j < i; j++ {
+			if rs[j].Contains(&rs[i]) {
+				out = append(out, rs[i].ID)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RemoveShadowed returns a copy of rs without pairwise-shadowed rules.
+// Rule IDs are preserved (holes are allowed; classification semantics are
+// unchanged because removed rules could never win).
+func (rs RuleSet) RemoveShadowed() RuleSet {
+	dead := map[int]bool{}
+	for _, id := range rs.Shadowed() {
+		dead[id] = true
+	}
+	out := make(RuleSet, 0, len(rs))
+	for i := range rs {
+		if !dead[rs[i].ID] {
+			out = append(out, rs[i])
+		}
+	}
+	return out
+}
+
+// OverlapStats summarizes pairwise rule overlap, the quantity that drives
+// decision-tree rule replication.
+type OverlapStats struct {
+	// Pairs is the number of overlapping rule pairs.
+	Pairs int
+	// MaxDegree is the largest number of rules any single rule overlaps.
+	MaxDegree int
+	// AvgDegree is the mean overlap degree.
+	AvgDegree float64
+	// Shadowed is the number of pairwise-shadowed (dead) rules.
+	Shadowed int
+}
+
+// MeasureOverlap computes OverlapStats with the direct O(n^2) pairwise
+// scan; intended for offline analysis, not the datapath.
+func (rs RuleSet) MeasureOverlap() OverlapStats {
+	var st OverlapStats
+	if len(rs) == 0 {
+		return st
+	}
+	degree := make([]int, len(rs))
+	for i := 0; i < len(rs); i++ {
+		for j := i + 1; j < len(rs); j++ {
+			if rs[i].OverlapsRule(&rs[j]) {
+				st.Pairs++
+				degree[i]++
+				degree[j]++
+			}
+		}
+	}
+	total := 0
+	for _, d := range degree {
+		total += d
+		if d > st.MaxDegree {
+			st.MaxDegree = d
+		}
+	}
+	st.AvgDegree = float64(total) / float64(len(rs))
+	st.Shadowed = len(rs.Shadowed())
+	return st
+}
+
+// FieldStats summarizes one dimension of a ruleset.
+type FieldStats struct {
+	Dim          int
+	Distinct     int     // distinct range specifications
+	WildcardFrac float64 // fraction of rules wildcarded in this dimension
+	ExactFrac    float64 // fraction of rules with a single-value range
+	PrefixFrac   float64 // fraction expressible as prefixes
+}
+
+// MeasureFields computes per-dimension statistics (what HyperCuts'
+// dimension-selection heuristic looks at).
+func (rs RuleSet) MeasureFields() [NumDims]FieldStats {
+	var out [NumDims]FieldStats
+	for d := 0; d < NumDims; d++ {
+		set := make(map[Range]struct{}, len(rs))
+		st := FieldStats{Dim: d}
+		for i := range rs {
+			f := rs[i].F[d]
+			set[f] = struct{}{}
+			if f.IsFull(d) {
+				st.WildcardFrac++
+			}
+			if f.Lo == f.Hi {
+				st.ExactFrac++
+			}
+			if f.IsPrefix(DimBits[d]) {
+				st.PrefixFrac++
+			}
+		}
+		st.Distinct = len(set)
+		if len(rs) > 0 {
+			st.WildcardFrac /= float64(len(rs))
+			st.ExactFrac /= float64(len(rs))
+			st.PrefixFrac /= float64(len(rs))
+		}
+		out[d] = st
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package rule
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func wildcardRule(id int) Rule {
+	return New(id, 0, 0, 0, 0, FullRange(DimSrcPort), FullRange(DimDstPort), 0, true)
+}
+
+func TestContains(t *testing.T) {
+	broad := New(0, 0x0A000000, 8, 0, 0, Range{Lo: 0, Hi: 65535}, FullRange(DimDstPort), 0, true)
+	narrow := New(1, 0x0A0B0000, 16, 0, 0, Range{Lo: 80, Hi: 80}, FullRange(DimDstPort), 0, true)
+	if !broad.Contains(&narrow) {
+		t.Error("broad should contain narrow")
+	}
+	if narrow.Contains(&broad) {
+		t.Error("narrow should not contain broad")
+	}
+	if !broad.Contains(&broad) {
+		t.Error("rule should contain itself")
+	}
+}
+
+func TestContainsImpliesMatchSubset(t *testing.T) {
+	// Property: if r contains s, any packet matching s matches r.
+	rng := rand.New(rand.NewSource(41))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a := randomRule(rr, 0)
+		b := randomRule(rr, 1)
+		if !a.Contains(&b) {
+			return true // vacuous
+		}
+		for trial := 0; trial < 20; trial++ {
+			p := Packet{
+				SrcIP:   b.F[DimSrcIP].Lo + uint32(rng.Int63n(int64(b.F[DimSrcIP].Size()))),
+				DstIP:   b.F[DimDstIP].Lo + uint32(rng.Int63n(int64(b.F[DimDstIP].Size()))),
+				SrcPort: uint16(b.F[DimSrcPort].Lo),
+				DstPort: uint16(b.F[DimDstPort].Hi),
+				Proto:   uint8(b.F[DimProto].Lo),
+			}
+			if b.Matches(p) && !a.Matches(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShadowedDetection(t *testing.T) {
+	rs := RuleSet{
+		wildcardRule(0), // shadows everything after it
+		New(1, 0x0A000000, 8, 0, 0, FullRange(DimSrcPort), FullRange(DimDstPort), 6, false),
+		New(2, 0x0B000000, 8, 0, 0, FullRange(DimSrcPort), FullRange(DimDstPort), 17, false),
+	}
+	got := rs.Shadowed()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Shadowed = %v, want [1 2]", got)
+	}
+
+	clean := rs.RemoveShadowed()
+	if len(clean) != 1 || clean[0].ID != 0 {
+		t.Errorf("RemoveShadowed kept %d rules", len(clean))
+	}
+}
+
+func TestShadowedNoneWhenDisjoint(t *testing.T) {
+	rs := RuleSet{
+		New(0, 0x0A000000, 8, 0, 0, FullRange(DimSrcPort), FullRange(DimDstPort), 0, true),
+		New(1, 0x0B000000, 8, 0, 0, FullRange(DimSrcPort), FullRange(DimDstPort), 0, true),
+	}
+	if got := rs.Shadowed(); len(got) != 0 {
+		t.Errorf("disjoint rules reported shadowed: %v", got)
+	}
+}
+
+func TestRemoveShadowedPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	rs := make(RuleSet, 0, 60)
+	for i := 0; i < 60; i++ {
+		rs = append(rs, randomRule(rng, i))
+	}
+	clean := rs.RemoveShadowed()
+	for trial := 0; trial < 5000; trial++ {
+		p := Packet{
+			SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+			SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+			Proto: uint8(rng.Intn(256)),
+		}
+		if rs.Match(p) != clean.Match(p) {
+			t.Fatalf("semantics changed by RemoveShadowed for %+v", p)
+		}
+	}
+}
+
+func TestMeasureOverlap(t *testing.T) {
+	rs := RuleSet{
+		wildcardRule(0),
+		New(1, 0x0A000000, 8, 0, 0, FullRange(DimSrcPort), FullRange(DimDstPort), 0, true),
+		New(2, 0x0B000000, 8, 0, 0, FullRange(DimSrcPort), FullRange(DimDstPort), 0, true),
+	}
+	st := rs.MeasureOverlap()
+	// Wildcard overlaps both others; the two /8s are disjoint.
+	if st.Pairs != 2 {
+		t.Errorf("Pairs = %d, want 2", st.Pairs)
+	}
+	if st.MaxDegree != 2 {
+		t.Errorf("MaxDegree = %d, want 2", st.MaxDegree)
+	}
+	if st.Shadowed != 2 {
+		t.Errorf("Shadowed = %d, want 2", st.Shadowed)
+	}
+	if empty := (RuleSet{}).MeasureOverlap(); empty.Pairs != 0 {
+		t.Error("empty set overlap")
+	}
+}
+
+func TestMeasureFields(t *testing.T) {
+	rs := RuleSet{
+		New(0, 0x0A000000, 8, 0, 0, Range{Lo: 80, Hi: 80}, FullRange(DimDstPort), 6, false),
+		New(1, 0x0A000000, 8, 0, 0, FullRange(DimSrcPort), FullRange(DimDstPort), 0, true),
+	}
+	fs := rs.MeasureFields()
+	if fs[DimSrcIP].Distinct != 1 {
+		t.Errorf("srcIP distinct = %d", fs[DimSrcIP].Distinct)
+	}
+	if fs[DimDstIP].WildcardFrac != 1.0 {
+		t.Errorf("dstIP wildcard frac = %f", fs[DimDstIP].WildcardFrac)
+	}
+	if fs[DimSrcPort].ExactFrac != 0.5 {
+		t.Errorf("srcPort exact frac = %f", fs[DimSrcPort].ExactFrac)
+	}
+	if fs[DimSrcIP].PrefixFrac != 1.0 {
+		t.Errorf("srcIP prefix frac = %f", fs[DimSrcIP].PrefixFrac)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	trace := make([]Packet, 200)
+	for i := range trace {
+		trace[i] = Packet{
+			SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+			SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+			Proto: uint8(rng.Intn(256)),
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trace) {
+		t.Fatalf("length %d, want %d", len(got), len(trace))
+	}
+	for i := range trace {
+		if got[i] != trace[i] {
+			t.Fatalf("packet %d: %+v != %+v", i, got[i], trace[i])
+		}
+	}
+}
+
+func TestReadTraceTolerant(t *testing.T) {
+	in := "# comment\n\n1 2 3 4 5 99999\n"
+	got, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Proto != 5 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	for _, in := range []string{
+		"1 2 3 4\n",       // too few
+		"1 2 3 4 999\n",   // proto too big
+		"1 2 70000 4 5\n", // port too big
+		"1 2 x 4 5\n",     // not a number
+	} {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadTrace(%q) should fail", in)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package rule
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the external input surfaces: ClassBench rule lines and
+// trace lines. `go test` runs the seed corpus; `go test -fuzz=Fuzz...`
+// explores further.
+
+func FuzzParseRule(f *testing.F) {
+	seeds := []string{
+		"@192.128.0.0/9\t10.0.0.0/8\t0 : 65535\t1024 : 1024\t0x06/0xFF",
+		"@0.0.0.0/0\t0.0.0.0/0\t0 : 65535\t0 : 65535\t0x00/0x00",
+		"@255.255.255.255/32\t1.2.3.4/24\t80 : 80\t0 : 1023\t0x11/0xFF",
+		"@1.2.3.4/33 5.6.7.8/8 0 : 1 2 : 3 0x06/0xFF",
+		"@garbage",
+		"",
+		"@1.2.3.4/8 5.6.7.8/8 1 : 0 2 : 3 0x06/0xFF",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		r, err := ParseRule(line)
+		if err != nil {
+			return // rejection is fine; crashing is not
+		}
+		// Accepted rules must be structurally valid and re-serializable.
+		rs := RuleSet{r}
+		if vErr := rs.Validate(); vErr != nil {
+			t.Fatalf("ParseRule accepted invalid rule %q: %v", line, vErr)
+		}
+		out, fErr := FormatRule(&r)
+		if fErr != nil {
+			t.Fatalf("accepted rule cannot be formatted: %v", fErr)
+		}
+		back, pErr := ParseRule(out)
+		if pErr != nil {
+			t.Fatalf("round trip failed: %v (line %q)", pErr, out)
+		}
+		if back.F != r.F {
+			t.Fatalf("round trip changed rule: %+v vs %+v", back.F, r.F)
+		}
+	})
+}
+
+func FuzzReadTraceLine(f *testing.F) {
+	seeds := []string{
+		"1\t2\t3\t4\t5",
+		"4294967295 4294967295 65535 65535 255",
+		"1 2 3 4 5 99",
+		"x y z",
+		"",
+		"-1 2 3 4 5",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		trace, err := ReadTrace(strings.NewReader(line))
+		if err != nil {
+			return
+		}
+		for _, p := range trace {
+			// Values must fit their fields by construction.
+			_ = p.Top8(DimProto)
+		}
+	})
+}

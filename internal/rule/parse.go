@@ -1,0 +1,199 @@
+package rule
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements reading and writing rulesets in the de-facto
+// ClassBench filter-set format, one rule per line:
+//
+//	@192.128.0.0/9  10.0.0.0/8  0 : 65535  1024 : 1024  0x06/0xFF
+//
+// Fields are source prefix, destination prefix, source port range,
+// destination port range, and protocol value/mask. The protocol mask is
+// either 0xFF (exact) or 0x00 (wildcard); the hardware leaf encoding
+// supports exactly those two cases (paper §3, 9-bit protocol field).
+
+// WriteSet serializes rs to w in ClassBench format. Rules whose IP fields
+// are not prefixes or whose protocol is neither exact nor wildcard cannot
+// be expressed in the format and yield an error.
+func WriteSet(w io.Writer, rs RuleSet) error {
+	bw := bufio.NewWriter(w)
+	for i := range rs {
+		r := &rs[i]
+		line, err := FormatRule(r)
+		if err != nil {
+			return fmt.Errorf("rule %d: %w", r.ID, err)
+		}
+		if _, err := bw.WriteString(line + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// FormatRule renders a single rule as a ClassBench line (without newline).
+func FormatRule(r *Rule) (string, error) {
+	src, err := prefixText(r.F[DimSrcIP])
+	if err != nil {
+		return "", fmt.Errorf("srcIP: %w", err)
+	}
+	dst, err := prefixText(r.F[DimDstIP])
+	if err != nil {
+		return "", fmt.Errorf("dstIP: %w", err)
+	}
+	proto, err := protoText(r.F[DimProto])
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("@%s\t%s\t%d : %d\t%d : %d\t%s",
+		src, dst,
+		r.F[DimSrcPort].Lo, r.F[DimSrcPort].Hi,
+		r.F[DimDstPort].Lo, r.F[DimDstPort].Hi,
+		proto), nil
+}
+
+func prefixText(r Range) (string, error) {
+	l := r.PrefixLen(32)
+	if l < 0 {
+		return "", fmt.Errorf("range [%d,%d] is not a prefix", r.Lo, r.Hi)
+	}
+	return fmt.Sprintf("%d.%d.%d.%d/%d",
+		byte(r.Lo>>24), byte(r.Lo>>16), byte(r.Lo>>8), byte(r.Lo), l), nil
+}
+
+func protoText(r Range) (string, error) {
+	switch {
+	case r.Lo == 0 && r.Hi == 255:
+		return "0x00/0x00", nil
+	case r.Lo == r.Hi:
+		return fmt.Sprintf("0x%02X/0xFF", r.Lo), nil
+	}
+	return "", fmt.Errorf("protocol range [%d,%d] is neither exact nor wildcard", r.Lo, r.Hi)
+}
+
+// ReadSet parses a ClassBench-format ruleset from r. Rule IDs are assigned
+// in file order starting at 0. Blank lines and lines starting with '#' are
+// ignored.
+func ReadSet(r io.Reader) (RuleSet, error) {
+	var rs RuleSet
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rl, err := ParseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		rl.ID = len(rs)
+		rs = append(rs, rl)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// ParseRule parses one ClassBench filter line into a Rule (ID left 0).
+func ParseRule(line string) (Rule, error) {
+	var r Rule
+	if !strings.HasPrefix(line, "@") {
+		return r, fmt.Errorf("rule line must start with '@': %q", line)
+	}
+	fields := strings.Fields(line[1:])
+	// Expected: src dst loS : hiS loD : hiD proto[/mask] [extra flags ignored]
+	if len(fields) < 9 {
+		return r, fmt.Errorf("want at least 9 whitespace-separated tokens, got %d", len(fields))
+	}
+	var err error
+	if r.F[DimSrcIP], err = parsePrefix(fields[0]); err != nil {
+		return r, fmt.Errorf("srcIP: %w", err)
+	}
+	if r.F[DimDstIP], err = parsePrefix(fields[1]); err != nil {
+		return r, fmt.Errorf("dstIP: %w", err)
+	}
+	if r.F[DimSrcPort], err = parsePortRange(fields[2], fields[3], fields[4]); err != nil {
+		return r, fmt.Errorf("srcPort: %w", err)
+	}
+	if r.F[DimDstPort], err = parsePortRange(fields[5], fields[6], fields[7]); err != nil {
+		return r, fmt.Errorf("dstPort: %w", err)
+	}
+	if r.F[DimProto], err = parseProto(fields[8]); err != nil {
+		return r, fmt.Errorf("proto: %w", err)
+	}
+	return r, nil
+}
+
+func parsePrefix(s string) (Range, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Range{}, fmt.Errorf("missing '/' in prefix %q", s)
+	}
+	length, err := strconv.Atoi(s[slash+1:])
+	if err != nil || length < 0 || length > 32 {
+		return Range{}, fmt.Errorf("bad prefix length in %q", s)
+	}
+	parts := strings.Split(s[:slash], ".")
+	if len(parts) != 4 {
+		return Range{}, fmt.Errorf("bad IPv4 address %q", s[:slash])
+	}
+	var addr uint32
+	for _, p := range parts {
+		b, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return Range{}, fmt.Errorf("bad IPv4 octet %q", p)
+		}
+		addr = addr<<8 | uint32(b)
+	}
+	return PrefixRange(addr, length, 32), nil
+}
+
+func parsePortRange(lo, colon, hi string) (Range, error) {
+	if colon != ":" {
+		return Range{}, fmt.Errorf("expected ':' between port bounds, got %q", colon)
+	}
+	l, err := strconv.ParseUint(lo, 10, 16)
+	if err != nil {
+		return Range{}, fmt.Errorf("bad low port %q", lo)
+	}
+	h, err := strconv.ParseUint(hi, 10, 16)
+	if err != nil {
+		return Range{}, fmt.Errorf("bad high port %q", hi)
+	}
+	if l > h {
+		return Range{}, fmt.Errorf("inverted port range %s:%s", lo, hi)
+	}
+	return Range{uint32(l), uint32(h)}, nil
+}
+
+func parseProto(s string) (Range, error) {
+	val := s
+	mask := "0xFF"
+	if slash := strings.IndexByte(s, '/'); slash >= 0 {
+		val, mask = s[:slash], s[slash+1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(val, "0x"), 16, 8)
+	if err != nil {
+		return Range{}, fmt.Errorf("bad protocol value %q", s)
+	}
+	m, err := strconv.ParseUint(strings.TrimPrefix(mask, "0x"), 16, 8)
+	if err != nil {
+		return Range{}, fmt.Errorf("bad protocol mask %q", s)
+	}
+	switch m {
+	case 0x00:
+		return FullRange(DimProto), nil
+	case 0xFF:
+		return Range{uint32(v), uint32(v)}, nil
+	}
+	return Range{}, fmt.Errorf("unsupported protocol mask 0x%02X (want 0x00 or 0xFF)", m)
+}

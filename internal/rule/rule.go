@@ -1,0 +1,282 @@
+// Package rule defines the 5-tuple packet classification primitives used
+// throughout the repository: dimensions, ranges, rules, packet headers and
+// first-match semantics.
+//
+// The paper classifies on the classic 5 dimensions of an IPv4 header:
+// source address, destination address, source port, destination port and
+// protocol.  Decision-tree algorithms (HiCuts, HyperCuts and the modified
+// hardware-oriented variants) treat every dimension uniformly as an integer
+// range, so the canonical representation of a rule here is five closed
+// ranges.  Prefix- and wildcard-structured fields (the only ones the
+// 160-bit hardware leaf encoding can store) are recoverable from the range
+// form; see IsPrefix and PrefixLen.
+package rule
+
+import "fmt"
+
+// Dimension indices. The order matches the field order used by the paper's
+// hardware accelerator: the 8 most significant bits of each of these five
+// fields feed the mask/shift child-index computation.
+const (
+	DimSrcIP   = 0
+	DimDstIP   = 1
+	DimSrcPort = 2
+	DimDstPort = 3
+	DimProto   = 4
+
+	// NumDims is the number of classification dimensions (5-tuple).
+	NumDims = 5
+)
+
+// DimBits holds the width in bits of each dimension.
+var DimBits = [NumDims]uint{32, 32, 16, 16, 8}
+
+// DimNames holds short human-readable dimension names, indexed by dimension.
+var DimNames = [NumDims]string{"srcIP", "dstIP", "srcPort", "dstPort", "proto"}
+
+// MaxValue returns the largest value representable in dimension d.
+func MaxValue(d int) uint32 {
+	w := DimBits[d]
+	if w == 32 {
+		return ^uint32(0)
+	}
+	return (uint32(1) << w) - 1
+}
+
+// Range is a closed integer interval [Lo, Hi] within one dimension.
+type Range struct {
+	Lo, Hi uint32
+}
+
+// Contains reports whether v lies inside r.
+func (r Range) Contains(v uint32) bool { return r.Lo <= v && v <= r.Hi }
+
+// Overlaps reports whether r and s share at least one value.
+func (r Range) Overlaps(s Range) bool { return r.Lo <= s.Hi && s.Lo <= r.Hi }
+
+// Size returns the number of values covered by r. The result is exact even
+// for the full 32-bit range (which does not fit in uint32).
+func (r Range) Size() uint64 { return uint64(r.Hi) - uint64(r.Lo) + 1 }
+
+// FullRange returns the range covering the whole of dimension d.
+func FullRange(d int) Range { return Range{0, MaxValue(d)} }
+
+// IsFull reports whether r covers all of dimension d (a wildcard).
+func (r Range) IsFull(d int) bool { return r.Lo == 0 && r.Hi == MaxValue(d) }
+
+// IsPrefix reports whether r is expressible as a bit prefix of a w-bit
+// field, i.e. whether it has power-of-two size and aligned start.
+func (r Range) IsPrefix(w uint) bool {
+	size := r.Size()
+	if size&(size-1) != 0 {
+		return false
+	}
+	return uint64(r.Lo)%size == 0
+}
+
+// PrefixLen returns the prefix length of r within a w-bit field, or -1 if r
+// is not a prefix. A full range has length 0; an exact value has length w.
+func (r Range) PrefixLen(w uint) int {
+	if !r.IsPrefix(w) {
+		return -1
+	}
+	size := r.Size()
+	bits := 0
+	for size > 1 {
+		size >>= 1
+		bits++
+	}
+	return int(w) - bits
+}
+
+// PrefixRange returns the range covered by the length-len prefix of addr in
+// a w-bit field. Bits of addr below the prefix are ignored.
+func PrefixRange(addr uint32, length int, w uint) Range {
+	if length <= 0 {
+		return Range{0, maskOf(w)}
+	}
+	if uint(length) >= w {
+		return Range{addr, addr}
+	}
+	shift := w - uint(length)
+	lo := addr >> shift << shift
+	return Range{lo, lo | (uint32(1)<<shift - 1)}
+}
+
+func maskOf(w uint) uint32 {
+	if w == 32 {
+		return ^uint32(0)
+	}
+	return uint32(1)<<w - 1
+}
+
+// Packet is a 5-tuple packet header.
+type Packet struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// Field returns the packet's value in dimension d.
+func (p Packet) Field(d int) uint32 {
+	switch d {
+	case DimSrcIP:
+		return p.SrcIP
+	case DimDstIP:
+		return p.DstIP
+	case DimSrcPort:
+		return uint32(p.SrcPort)
+	case DimDstPort:
+		return uint32(p.DstPort)
+	case DimProto:
+		return uint32(p.Proto)
+	}
+	panic(fmt.Sprintf("rule: invalid dimension %d", d))
+}
+
+// Top8 returns the 8 most significant bits of the packet's value in
+// dimension d. The hardware accelerator computes child indexes exclusively
+// from these bits (paper §3).
+func (p Packet) Top8(d int) uint8 {
+	return uint8(p.Field(d) >> (DimBits[d] - 8))
+}
+
+// Top8OfValue returns the 8 most significant bits of value v interpreted in
+// dimension d.
+func Top8OfValue(v uint32, d int) uint8 {
+	return uint8(v >> (DimBits[d] - 8))
+}
+
+// Rule is a single classification rule: five ranges plus an identifier.
+// Lower ID means higher priority; classifiers return the matching rule with
+// the smallest ID (first-match semantics).
+type Rule struct {
+	// ID is the rule's index in its ruleset and doubles as its priority.
+	ID int
+	// F holds the rule's range in each dimension, indexed by Dim*.
+	F [NumDims]Range
+}
+
+// Matches reports whether packet p satisfies every field range of r.
+func (r *Rule) Matches(p Packet) bool {
+	for d := 0; d < NumDims; d++ {
+		if !r.F[d].Contains(p.Field(d)) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsWildcard reports whether the rule is fully wildcarded in dimension d.
+func (r *Rule) IsWildcard(d int) bool { return r.F[d].IsFull(d) }
+
+// New constructs a rule from typed 5-tuple components. srcLen and dstLen
+// are prefix lengths (0 = wildcard, 32 = host). protoWild selects a
+// protocol wildcard; otherwise proto is matched exactly.
+func New(id int, srcIP uint32, srcLen int, dstIP uint32, dstLen int,
+	srcPort, dstPort Range, proto uint8, protoWild bool) Rule {
+	r := Rule{ID: id}
+	r.F[DimSrcIP] = PrefixRange(srcIP, srcLen, 32)
+	r.F[DimDstIP] = PrefixRange(dstIP, dstLen, 32)
+	r.F[DimSrcPort] = srcPort
+	r.F[DimDstPort] = dstPort
+	if protoWild {
+		r.F[DimProto] = FullRange(DimProto)
+	} else {
+		r.F[DimProto] = Range{uint32(proto), uint32(proto)}
+	}
+	return r
+}
+
+// FromBytes builds a rule over the paper's didactic 8-bit field space
+// (Table 1): each of the five dimensions is given as an 8-bit [lo,hi] pair
+// which is widened to the dimension's real width by placing it in the top 8
+// bits. This preserves decision-tree behaviour exactly, because the
+// modified algorithms cut only on the top 8 bits of each dimension.
+func FromBytes(id int, lo, hi [NumDims]uint8) Rule {
+	r := Rule{ID: id}
+	for d := 0; d < NumDims; d++ {
+		shift := DimBits[d] - 8
+		r.F[d] = Range{
+			Lo: uint32(lo[d]) << shift,
+			Hi: uint32(hi[d])<<shift | (uint32(1)<<shift - 1),
+		}
+	}
+	return r
+}
+
+// PacketFromBytes widens five 8-bit field values into a packet the same way
+// FromBytes widens rules (value placed in the top 8 bits of each field).
+func PacketFromBytes(v [NumDims]uint8) Packet {
+	return Packet{
+		SrcIP:   uint32(v[DimSrcIP]) << 24,
+		DstIP:   uint32(v[DimDstIP]) << 24,
+		SrcPort: uint16(v[DimSrcPort]) << 8,
+		DstPort: uint16(v[DimDstPort]) << 8,
+		Proto:   v[DimProto],
+	}
+}
+
+// String renders the rule in a compact ClassBench-like form.
+func (r *Rule) String() string {
+	return fmt.Sprintf("#%d %s %s %d:%d %d:%d %s",
+		r.ID, ipRangeString(r.F[DimSrcIP]), ipRangeString(r.F[DimDstIP]),
+		r.F[DimSrcPort].Lo, r.F[DimSrcPort].Hi,
+		r.F[DimDstPort].Lo, r.F[DimDstPort].Hi,
+		protoString(r.F[DimProto]))
+}
+
+func ipRangeString(r Range) string {
+	if l := r.PrefixLen(32); l >= 0 {
+		return fmt.Sprintf("%d.%d.%d.%d/%d",
+			byte(r.Lo>>24), byte(r.Lo>>16), byte(r.Lo>>8), byte(r.Lo), l)
+	}
+	return fmt.Sprintf("[%d-%d]", r.Lo, r.Hi)
+}
+
+func protoString(r Range) string {
+	if r.Lo == 0 && r.Hi == 255 {
+		return "0x00/0x00"
+	}
+	return fmt.Sprintf("0x%02X/0xFF", r.Lo)
+}
+
+// RuleSet is an ordered collection of rules; order defines priority.
+type RuleSet []Rule
+
+// Match returns the ID of the highest-priority (lowest-ID) rule matching p,
+// or -1 if no rule matches. This linear scan is the reference semantics all
+// classifiers in this repository must agree with.
+func (rs RuleSet) Match(p Packet) int {
+	for i := range rs {
+		if rs[i].Matches(p) {
+			return rs[i].ID
+		}
+	}
+	return -1
+}
+
+// Validate checks structural invariants: IDs are unique, ranges are
+// ordered, and values fit their dimension widths.
+func (rs RuleSet) Validate() error {
+	seen := make(map[int]bool, len(rs))
+	for i := range rs {
+		r := &rs[i]
+		if seen[r.ID] {
+			return fmt.Errorf("rule %d: duplicate ID", r.ID)
+		}
+		seen[r.ID] = true
+		for d := 0; d < NumDims; d++ {
+			f := r.F[d]
+			if f.Lo > f.Hi {
+				return fmt.Errorf("rule %d dim %s: inverted range [%d,%d]", r.ID, DimNames[d], f.Lo, f.Hi)
+			}
+			if f.Hi > MaxValue(d) {
+				return fmt.Errorf("rule %d dim %s: value %d exceeds %d-bit field", r.ID, DimNames[d], f.Hi, DimBits[d])
+			}
+		}
+	}
+	return nil
+}

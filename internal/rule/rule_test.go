@@ -1,0 +1,306 @@
+package rule
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeContains(t *testing.T) {
+	r := Range{10, 20}
+	for _, tc := range []struct {
+		v    uint32
+		want bool
+	}{{9, false}, {10, true}, {15, true}, {20, true}, {21, false}} {
+		if got := r.Contains(tc.v); got != tc.want {
+			t.Errorf("Contains(%d) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestRangeOverlaps(t *testing.T) {
+	r := Range{10, 20}
+	cases := []struct {
+		s    Range
+		want bool
+	}{
+		{Range{0, 9}, false},
+		{Range{0, 10}, true},
+		{Range{15, 16}, true},
+		{Range{20, 30}, true},
+		{Range{21, 30}, false},
+		{Range{0, 100}, true},
+	}
+	for _, tc := range cases {
+		if got := r.Overlaps(tc.s); got != tc.want {
+			t.Errorf("Overlaps(%v) = %v, want %v", tc.s, got, tc.want)
+		}
+		if got := tc.s.Overlaps(r); got != tc.want {
+			t.Errorf("Overlaps is not symmetric for %v", tc.s)
+		}
+	}
+}
+
+func TestRangeSizeFull32(t *testing.T) {
+	r := FullRange(DimSrcIP)
+	if got := r.Size(); got != 1<<32 {
+		t.Errorf("full 32-bit range size = %d, want 2^32", got)
+	}
+}
+
+func TestIsPrefix(t *testing.T) {
+	cases := []struct {
+		r    Range
+		w    uint
+		want int
+	}{
+		{Range{0, 255}, 8, 0},
+		{Range{0, 127}, 8, 1},
+		{Range{128, 255}, 8, 1},
+		{Range{4, 4}, 8, 8},
+		{Range{4, 5}, 8, 7},
+		{Range{5, 6}, 8, -1}, // not aligned
+		{Range{0, 2}, 8, -1}, // not power of two
+		{Range{0, ^uint32(0)}, 32, 0},
+		{Range{0x0A000000, 0x0AFFFFFF}, 32, 8},
+	}
+	for _, tc := range cases {
+		if got := tc.r.PrefixLen(tc.w); got != tc.want {
+			t.Errorf("PrefixLen(%v, %d) = %d, want %d", tc.r, tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestPrefixRangeRoundTrip(t *testing.T) {
+	f := func(addr uint32, length uint8) bool {
+		l := int(length % 33)
+		r := PrefixRange(addr, l, 32)
+		return r.PrefixLen(32) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixRangeMasksLowBits(t *testing.T) {
+	r := PrefixRange(0xC0A80101, 24, 32)
+	want := Range{0xC0A80100, 0xC0A801FF}
+	if r != want {
+		t.Errorf("PrefixRange = %+v, want %+v", r, want)
+	}
+}
+
+func TestPacketField(t *testing.T) {
+	p := Packet{SrcIP: 0x11223344, DstIP: 0x55667788, SrcPort: 0x99AA, DstPort: 0xBBCC, Proto: 0xDD}
+	want := [NumDims]uint32{0x11223344, 0x55667788, 0x99AA, 0xBBCC, 0xDD}
+	for d := 0; d < NumDims; d++ {
+		if got := p.Field(d); got != want[d] {
+			t.Errorf("Field(%d) = %#x, want %#x", d, got, want[d])
+		}
+	}
+}
+
+func TestPacketTop8(t *testing.T) {
+	p := Packet{SrcIP: 0x11223344, DstIP: 0xFF667788, SrcPort: 0x99AA, DstPort: 0x0BCC, Proto: 0xDD}
+	want := [NumDims]uint8{0x11, 0xFF, 0x99, 0x0B, 0xDD}
+	for d := 0; d < NumDims; d++ {
+		if got := p.Top8(d); got != want[d] {
+			t.Errorf("Top8(%d) = %#x, want %#x", d, got, want[d])
+		}
+	}
+}
+
+func TestRuleMatches(t *testing.T) {
+	r := New(0, 0xC0A80000, 16, 0x0A000000, 8, Range{1024, 2047}, Range{80, 80}, 6, false)
+	match := Packet{SrcIP: 0xC0A81234, DstIP: 0x0A111111, SrcPort: 1500, DstPort: 80, Proto: 6}
+	if !r.Matches(match) {
+		t.Error("expected match")
+	}
+	for _, p := range []Packet{
+		{SrcIP: 0xC0A91234, DstIP: 0x0A111111, SrcPort: 1500, DstPort: 80, Proto: 6},  // srcIP off
+		{SrcIP: 0xC0A81234, DstIP: 0x0B111111, SrcPort: 1500, DstPort: 80, Proto: 6},  // dstIP off
+		{SrcIP: 0xC0A81234, DstIP: 0x0A111111, SrcPort: 1023, DstPort: 80, Proto: 6},  // srcPort off
+		{SrcIP: 0xC0A81234, DstIP: 0x0A111111, SrcPort: 1500, DstPort: 81, Proto: 6},  // dstPort off
+		{SrcIP: 0xC0A81234, DstIP: 0x0A111111, SrcPort: 1500, DstPort: 80, Proto: 17}, // proto off
+	} {
+		if r.Matches(p) {
+			t.Errorf("expected no match for %+v", p)
+		}
+	}
+}
+
+func TestRuleSetFirstMatchWins(t *testing.T) {
+	rs := RuleSet{
+		New(0, 0, 0, 0, 0, Range{80, 80}, FullRange(DimDstPort), 0, true),
+		New(1, 0, 0, 0, 0, FullRange(DimSrcPort), FullRange(DimDstPort), 0, true),
+	}
+	p := Packet{SrcPort: 80}
+	if got := rs.Match(p); got != 0 {
+		t.Errorf("Match = %d, want 0 (first match wins)", got)
+	}
+	p.SrcPort = 81
+	if got := rs.Match(p); got != 1 {
+		t.Errorf("Match = %d, want 1", got)
+	}
+}
+
+func TestRuleSetNoMatch(t *testing.T) {
+	rs := RuleSet{New(0, 0xC0A80000, 16, 0, 0, FullRange(DimSrcPort), FullRange(DimDstPort), 0, true)}
+	if got := rs.Match(Packet{SrcIP: 0}); got != -1 {
+		t.Errorf("Match = %d, want -1", got)
+	}
+}
+
+func TestFromBytesTable1(t *testing.T) {
+	// Rule R0 from the paper's Table 1: 128-240, 15-15, 40-40, 180-180, 120-140.
+	r := FromBytes(0, [NumDims]uint8{128, 15, 40, 180, 120}, [NumDims]uint8{240, 15, 40, 180, 140})
+	// A packet whose top-8 field values fall inside must match.
+	p := PacketFromBytes([NumDims]uint8{200, 15, 40, 180, 130})
+	if !r.Matches(p) {
+		t.Error("packet inside all ranges should match")
+	}
+	p2 := PacketFromBytes([NumDims]uint8{100, 15, 40, 180, 130})
+	if r.Matches(p2) {
+		t.Error("packet outside field0 should not match")
+	}
+	// Top-8 projection of the widened rule must recover the byte bounds.
+	for d := 0; d < NumDims; d++ {
+		if got := Top8OfValue(r.F[d].Lo, d); got != []uint8{128, 15, 40, 180, 120}[d] {
+			t.Errorf("dim %d lo top8 = %d", d, got)
+		}
+		if got := Top8OfValue(r.F[d].Hi, d); got != []uint8{240, 15, 40, 180, 140}[d] {
+			t.Errorf("dim %d hi top8 = %d", d, got)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	rs := RuleSet{
+		New(0, 0, 0, 0, 0, FullRange(DimSrcPort), FullRange(DimDstPort), 0, true),
+		New(1, 0, 0, 0, 0, FullRange(DimSrcPort), FullRange(DimDstPort), 6, false),
+	}
+	if err := rs.Validate(); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	dup := append(RuleSet{}, rs...)
+	dup[1].ID = 0
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate ID not detected")
+	}
+	bad := append(RuleSet{}, rs...)
+	bad[0].F[DimProto] = Range{300, 300}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-width protocol not detected")
+	}
+	inv := append(RuleSet{}, rs...)
+	inv[0].F[DimSrcPort] = Range{10, 5}
+	if err := inv.Validate(); err == nil {
+		t.Error("inverted range not detected")
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rs := make(RuleSet, 0, 64)
+	for i := 0; i < 64; i++ {
+		srcLen := rng.Intn(33)
+		dstLen := rng.Intn(33)
+		lo := uint32(rng.Intn(65536))
+		hi := lo + uint32(rng.Intn(int(65536-lo)))
+		r := New(i, rng.Uint32(), srcLen, rng.Uint32(), dstLen,
+			Range{lo, hi}, Range{0, 65535}, uint8(rng.Intn(256)), rng.Intn(2) == 0)
+		rs = append(rs, r)
+	}
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, rs); err != nil {
+		t.Fatalf("WriteSet: %v", err)
+	}
+	got, err := ReadSet(&buf)
+	if err != nil {
+		t.Fatalf("ReadSet: %v", err)
+	}
+	if len(got) != len(rs) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(rs))
+	}
+	for i := range rs {
+		if got[i].F != rs[i].F {
+			t.Errorf("rule %d: got %+v want %+v", i, got[i].F, rs[i].F)
+		}
+	}
+}
+
+func TestParseRuleLine(t *testing.T) {
+	r, err := ParseRule("@192.128.0.0/9\t10.0.0.0/8\t0 : 65535\t1024 : 1024\t0x06/0xFF")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if r.F[DimSrcIP] != (Range{0xC0800000, 0xC0FFFFFF}) {
+		t.Errorf("srcIP = %+v", r.F[DimSrcIP])
+	}
+	if r.F[DimDstIP] != (Range{0x0A000000, 0x0AFFFFFF}) {
+		t.Errorf("dstIP = %+v", r.F[DimDstIP])
+	}
+	if r.F[DimSrcPort] != (Range{0, 65535}) || r.F[DimDstPort] != (Range{1024, 1024}) {
+		t.Errorf("ports = %+v %+v", r.F[DimSrcPort], r.F[DimDstPort])
+	}
+	if r.F[DimProto] != (Range{6, 6}) {
+		t.Errorf("proto = %+v", r.F[DimProto])
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	bad := []string{
+		"192.128.0.0/9 10.0.0.0/8 0 : 65535 0 : 65535 0x06/0xFF", // no @
+		"@192.128.0.0/33 10.0.0.0/8 0 : 65535 0 : 65535 0x06/0xFF",
+		"@192.128.0.0/9 10.0.0.0/8 0 65535 0 : 65535 0x06/0xFF",   // missing colon token
+		"@192.128.0.0/9 10.0.0.0/8 9 : 1 0 : 65535 0x06/0xFF",     // inverted
+		"@192.128.0.0/9 10.0.0.0/8 0 : 65535 0 : 65535 0x06/0x0F", // bad mask
+		"@1.2.3/9 10.0.0.0/8 0 : 65535 0 : 65535 0x06/0xFF",       // 3 octets
+	}
+	for _, line := range bad {
+		if _, err := ParseRule(line); err == nil {
+			t.Errorf("ParseRule(%q) should fail", line)
+		}
+	}
+}
+
+func TestReadSetSkipsComments(t *testing.T) {
+	in := "# comment\n\n@0.0.0.0/0\t0.0.0.0/0\t0 : 65535\t0 : 65535\t0x00/0x00\n"
+	rs, err := ReadSet(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadSet: %v", err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("got %d rules, want 1", len(rs))
+	}
+	if !rs[0].IsWildcard(DimSrcIP) || !rs[0].IsWildcard(DimProto) {
+		t.Error("wildcard rule not parsed as wildcard")
+	}
+}
+
+func TestMatchesAgreesWithPerFieldCheck(t *testing.T) {
+	// Property: Rule.Matches equals conjunction of per-dimension Contains.
+	f := func(sip, dip uint32, sp, dp uint16, pr uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRule(rng, 0)
+		p := Packet{SrcIP: sip, DstIP: dip, SrcPort: sp, DstPort: dp, Proto: pr}
+		want := true
+		for d := 0; d < NumDims; d++ {
+			want = want && r.F[d].Contains(p.Field(d))
+		}
+		return r.Matches(p) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomRule builds a structurally valid random rule for property tests.
+func randomRule(rng *rand.Rand, id int) Rule {
+	loPort := uint32(rng.Intn(65536))
+	hiPort := loPort + uint32(rng.Intn(int(65536-loPort)))
+	return New(id, rng.Uint32(), rng.Intn(33), rng.Uint32(), rng.Intn(33),
+		Range{loPort, hiPort}, Range{0, 65535}, uint8(rng.Intn(256)), rng.Intn(2) == 0)
+}

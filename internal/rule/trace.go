@@ -1,0 +1,71 @@
+package rule
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Packet trace serialization: one packet per line as five tab-separated
+// decimal values "srcIP dstIP srcPort dstPort proto" (the format the
+// ClassBench trace generator emits, minus its trailing flow ID, which is
+// accepted and ignored on read).
+
+// WriteTrace serializes a packet trace to w.
+func WriteTrace(w io.Writer, trace []Packet) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range trace {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%d\n",
+			p.SrcIP, p.DstIP, p.SrcPort, p.DstPort, p.Proto); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a packet trace from r. Blank lines and '#' comments
+// are skipped; a sixth column (ClassBench flow ID) is tolerated.
+func ReadTrace(r io.Reader) ([]Packet, error) {
+	var trace []Packet
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("trace line %d: want 5 fields, got %d", lineNo, len(fields))
+		}
+		vals := make([]uint64, 5)
+		for i := 0; i < 5; i++ {
+			v, err := strconv.ParseUint(fields[i], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("trace line %d field %d: %v", lineNo, i+1, err)
+			}
+			vals[i] = v
+		}
+		if vals[2] > 0xFFFF || vals[3] > 0xFFFF {
+			return nil, fmt.Errorf("trace line %d: port out of range", lineNo)
+		}
+		if vals[4] > 0xFF {
+			return nil, fmt.Errorf("trace line %d: protocol out of range", lineNo)
+		}
+		trace = append(trace, Packet{
+			SrcIP:   uint32(vals[0]),
+			DstIP:   uint32(vals[1]),
+			SrcPort: uint16(vals[2]),
+			DstPort: uint16(vals[3]),
+			Proto:   uint8(vals[4]),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return trace, nil
+}

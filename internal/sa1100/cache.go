@@ -1,0 +1,97 @@
+package sa1100
+
+// Cache is a set-associative LRU cache simulator modelling the StrongARM
+// SA-1100's 8 KB data cache (32-byte lines, 32-way associative). The
+// software classification algorithms' memory-access traces are replayed
+// through it to estimate stall cycles, replacing the Sim-Panalyzer
+// simulation the paper used (see DESIGN.md substitutions).
+type Cache struct {
+	lineBytes uint32
+	sets      uint32
+	ways      int
+
+	// tags[set] holds the resident line tags in LRU order (front =
+	// most recently used).
+	tags [][]uint32
+
+	hits, misses int64
+}
+
+// NewDCache returns the SA-1100 data cache: 8 KB, 32-byte lines, 32-way.
+func NewDCache() *Cache { return NewCache(8*1024, 32, 32) }
+
+// NewCache builds a cache with the given total size, line size and
+// associativity. Sizes must be powers of two.
+func NewCache(totalBytes, lineBytes, ways int) *Cache {
+	lines := totalBytes / lineBytes
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	c := &Cache{
+		lineBytes: uint32(lineBytes),
+		sets:      uint32(sets),
+		ways:      ways,
+		tags:      make([][]uint32, sets),
+	}
+	for i := range c.tags {
+		c.tags[i] = make([]uint32, 0, ways)
+	}
+	return c
+}
+
+// Access touches size bytes at addr and returns the number of line misses
+// incurred (an access spanning a line boundary may miss more than once).
+func (c *Cache) Access(addr, size uint32) int {
+	if size == 0 {
+		size = 1
+	}
+	first := addr / c.lineBytes
+	last := (addr + size - 1) / c.lineBytes
+	misses := 0
+	for line := first; ; line++ {
+		if c.touch(line) {
+			c.hits++
+		} else {
+			c.misses++
+			misses++
+		}
+		if line == last {
+			break
+		}
+	}
+	return misses
+}
+
+// touch looks a line tag up, updating LRU order; returns true on hit.
+func (c *Cache) touch(line uint32) bool {
+	set := line % c.sets
+	ws := c.tags[set]
+	for i, tag := range ws {
+		if tag == line {
+			// Move to front.
+			copy(ws[1:i+1], ws[:i])
+			ws[0] = line
+			return true
+		}
+	}
+	// Miss: insert at front, evict LRU if full.
+	if len(ws) < c.ways {
+		ws = append(ws, 0)
+	}
+	copy(ws[1:], ws)
+	ws[0] = line
+	c.tags[set] = ws
+	return false
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// Reset clears cache contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = c.tags[i][:0]
+	}
+	c.hits, c.misses = 0, 0
+}

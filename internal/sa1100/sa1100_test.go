@@ -1,0 +1,181 @@
+package sa1100
+
+import (
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/hicuts"
+	"repro/internal/hypercuts"
+	"repro/internal/linear"
+	"repro/internal/rule"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(1024, 32, 2) // 16 sets, 2-way
+	if m := c.Access(0, 4); m != 1 {
+		t.Errorf("cold access misses = %d, want 1", m)
+	}
+	if m := c.Access(0, 4); m != 0 {
+		t.Errorf("warm access misses = %d, want 0", m)
+	}
+	if m := c.Access(4, 4); m != 0 {
+		t.Errorf("same line misses = %d, want 0", m)
+	}
+	// An access spanning two lines can miss twice.
+	if m := c.Access(60, 8); m != 2 {
+		t.Errorf("straddling access misses = %d, want 2", m)
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 3 {
+		t.Errorf("stats = (%d,%d), want (2,3)", hits, misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(64, 32, 1) // 2 sets, direct-mapped, 32B lines
+	c.Access(0, 1)           // line 0 -> set 0
+	c.Access(64, 1)          // line 2 -> set 0, evicts line 0
+	if m := c.Access(0, 1); m != 1 {
+		t.Error("evicted line should miss")
+	}
+}
+
+func TestCacheAssociativityKeepsLines(t *testing.T) {
+	c := NewCache(128, 32, 2) // 2 sets, 2-way
+	c.Access(0, 1)            // line 0, set 0
+	c.Access(64, 1)           // line 2, set 0
+	if m := c.Access(0, 1); m != 0 {
+		t.Error("2-way set should retain both lines")
+	}
+	c.Access(128, 1) // line 4, set 0 -> evicts LRU (line 2)
+	if m := c.Access(0, 1); m != 0 {
+		t.Error("MRU line evicted instead of LRU")
+	}
+	if m := c.Access(64, 1); m != 1 {
+		t.Error("LRU line should have been evicted")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewDCache()
+	c.Access(0, 4)
+	c.Reset()
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Error("reset did not clear stats")
+	}
+	if m := c.Access(0, 4); m != 1 {
+		t.Error("reset did not clear contents")
+	}
+}
+
+func TestMeasureClassificationShape(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 500, 61)
+	trace := classbench.GenerateTrace(rs, 2000, 62)
+
+	hc, err := hicuts.Build(rs, hicuts.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := MeasureClassification(hc, trace, DefaultCosts())
+	if st.Packets != len(trace) {
+		t.Fatalf("packets %d", st.Packets)
+	}
+	// Calibration band: the paper reports software decision trees at
+	// roughly 2-10k cycles/packet on the SA-1100 (Tables 6/7 imply
+	// ~2,300-9,500). Accept a generous band around it.
+	if st.CyclesPerPacket < 300 || st.CyclesPerPacket > 50000 {
+		t.Errorf("HiCuts cycles/packet %.0f outside plausible SA-1100 band", st.CyclesPerPacket)
+	}
+	if st.PacketsPerSecond > 2e6 {
+		t.Errorf("software throughput %.0f pps is implausibly high (paper: <0.5 Mpps)", st.PacketsPerSecond)
+	}
+	if st.EnergyPerPacketJ <= 0 {
+		t.Error("no energy accounted")
+	}
+	wantE := st.CyclesPerPacket * EnergyPerCycleJ
+	if diff := st.EnergyPerPacketJ - wantE; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("energy inconsistent with cycles")
+	}
+	if st.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestLinearSlowerThanTreePerPacket(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 1000, 63)
+	trace := classbench.GenerateTrace(rs, 1500, 64)
+	hc, err := hicuts.Build(rs, hicuts.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := MeasureClassification(hc, trace, DefaultCosts())
+	lin := MeasureClassification(linear.New(rs), trace, DefaultCosts())
+	if lin.CyclesPerPacket < tree.CyclesPerPacket {
+		t.Errorf("linear scan (%.0f cyc) beat the decision tree (%.0f cyc) on 1000 rules",
+			lin.CyclesPerPacket, tree.CyclesPerPacket)
+	}
+}
+
+func TestHyperCutsMeasurable(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 500, 65)
+	trace := classbench.GenerateTrace(rs, 1000, 66)
+	hyc, err := hypercuts.Build(rs, hypercuts.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := MeasureClassification(hyc, trace, DefaultCosts())
+	if st.CyclesPerPacket <= 0 || st.CacheMisses < 0 {
+		t.Errorf("bad stats: %+v", st)
+	}
+}
+
+func TestBuildEnergyMonotonicInWork(t *testing.T) {
+	small := BuildWork{CutEvaluations: 10, RuleChildOps: 100, RulePushes: 50, Nodes: 5, Rules: 60}
+	big := BuildWork{CutEvaluations: 100, RuleChildOps: 10000, RulePushes: 5000, Nodes: 500, Rules: 2191}
+	if BuildCycles(small) >= BuildCycles(big) {
+		t.Error("more work must cost more cycles")
+	}
+	if BuildEnergyJ(small) <= 0 {
+		t.Error("energy must be positive")
+	}
+	if BuildSeconds(big) <= BuildSeconds(small) {
+		t.Error("seconds must grow with work")
+	}
+	// Energy = cycles * energy/cycle.
+	w := big
+	if got, want := BuildEnergyJ(w), float64(BuildCycles(w))*EnergyPerCycleJ; got != want {
+		t.Errorf("BuildEnergyJ = %g, want %g", got, want)
+	}
+}
+
+func TestEnergyPerCycleMatchesPaperConstants(t *testing.T) {
+	// 42.45 mW at 200 MHz = 2.1225e-10 J/cycle.
+	want := 2.1225e-10
+	if diff := EnergyPerCycleJ/want - 1; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("EnergyPerCycleJ = %g, want %g", EnergyPerCycleJ, want)
+	}
+}
+
+func TestTraceSizesRecognized(t *testing.T) {
+	// A classifier emitting each contract size must charge distinct costs.
+	costs := DefaultCosts()
+	fake := fakeClassifier{sizes: []uint32{sizePointer, sizeLeafHdr, sizeNodeHiCut, sizeRule, sizeNodeHyper, sizeTableEntry}}
+	st := MeasureClassification(fake, []rule.Packet{{}}, costs)
+	// Minimum: per-packet + all op charges, no asserts on exact value,
+	// but it must exceed the bare per-packet cost.
+	if st.Cycles <= int64(costs.PerPacket) {
+		t.Errorf("cycles %d did not include op charges", st.Cycles)
+	}
+	if st.Accesses != int64(len(fake.sizes)) {
+		t.Errorf("accesses %d, want %d", st.Accesses, len(fake.sizes))
+	}
+}
+
+type fakeClassifier struct{ sizes []uint32 }
+
+func (f fakeClassifier) ClassifyTraced(p rule.Packet, trace func(addr, size uint32)) (int, int) {
+	for i, s := range f.sizes {
+		trace(uint32(i*64), s)
+	}
+	return -1, len(f.sizes)
+}

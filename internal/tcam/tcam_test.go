@@ -1,0 +1,181 @@
+package tcam
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/classbench"
+	"repro/internal/rule"
+)
+
+func TestRangeToPrefixesExact(t *testing.T) {
+	cases := []struct {
+		lo, hi uint32
+		width  uint
+		blocks int
+	}{
+		{0, 65535, 16, 1},    // wildcard = 1 block
+		{80, 80, 16, 1},      // exact = 1 block
+		{1024, 65535, 16, 6}, // the classic >1023 range
+		{0, 1023, 16, 1},     // aligned low range
+		{1, 65534, 16, 30},   // worst case 2w-2
+	}
+	for _, tc := range cases {
+		got := RangeToPrefixes(tc.lo, tc.hi, tc.width)
+		if len(got) != tc.blocks {
+			t.Errorf("[%d,%d]/%d: %d blocks, want %d", tc.lo, tc.hi, tc.width, len(got), tc.blocks)
+		}
+	}
+}
+
+func TestRangeToPrefixesCoverExactly(t *testing.T) {
+	// Property: the blocks exactly tile the range, no overlap, no gaps.
+	f := func(a, b uint16) bool {
+		lo, hi := uint32(a), uint32(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		blocks := RangeToPrefixes(lo, hi, 16)
+		covered := uint64(0)
+		for _, blk := range blocks {
+			size := uint64(1) << popZeros(blk.care, 16)
+			if uint64(blk.value)%size != 0 {
+				return false // misaligned
+			}
+			covered += size
+		}
+		// Membership check at boundaries and sampled interior points.
+		for _, v := range []uint32{lo, hi, (lo + hi) / 2} {
+			in := false
+			for _, blk := range blocks {
+				if (v^blk.value)&blk.care == 0 {
+					in = true
+					break
+				}
+			}
+			if !in {
+				return false
+			}
+		}
+		return covered == uint64(hi)-uint64(lo)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func popZeros(care uint32, width uint) uint {
+	n := uint(0)
+	for i := uint(0); i < width; i++ {
+		if care&(1<<i) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFull32BitRange(t *testing.T) {
+	blocks := RangeToPrefixes(0, ^uint32(0), 32)
+	if len(blocks) != 1 || blocks[0].care != 0 {
+		t.Errorf("full 32-bit range should be one don't-care block: %+v", blocks)
+	}
+}
+
+func TestClassifyAgreesWithLinear(t *testing.T) {
+	for _, prof := range []classbench.Profile{classbench.ACL1(), classbench.FW1()} {
+		rs := classbench.Generate(prof, 300, 91)
+		m, _, err := Build(rs)
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		for i, p := range classbench.GenerateTrace(rs, 3000, 92) {
+			if got, want := m.Classify(p), rs.Match(p); got != want {
+				t.Fatalf("%s packet %d: tcam=%d linear=%d", prof.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestStorageEfficiencyBand(t *testing.T) {
+	// Paper cites 16-53% efficiency on real databases. Our synthetic
+	// sets with range-style ports must land well below 100%.
+	rs := classbench.Generate(classbench.FW1(), 1000, 93)
+	_, st, err := Build(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Efficiency >= 1.0 || st.Efficiency <= 0.05 {
+		t.Errorf("efficiency %.3f outside plausible band", st.Efficiency)
+	}
+	if st.Entries < st.Rules {
+		t.Errorf("entries %d < rules %d", st.Entries, st.Rules)
+	}
+	if st.Bytes != st.Entries*EntryBits/8 {
+		t.Errorf("bytes accounting wrong")
+	}
+	if st.WorstRuleEntries < 1 {
+		t.Errorf("worst rule entries %d", st.WorstRuleEntries)
+	}
+}
+
+func TestPriorityPreservedUnderExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	rs := make(rule.RuleSet, 0, 40)
+	for i := 0; i < 40; i++ {
+		lo := uint32(rng.Intn(60000))
+		hi := lo + uint32(rng.Intn(int(65535-lo))+1)
+		rs = append(rs, rule.New(i, 0, 0, 0, 0, rule.Range{Lo: lo, Hi: hi}, rule.FullRange(rule.DimDstPort), 0, true))
+	}
+	m, _, err := Build(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		p := rule.Packet{SrcPort: uint16(rng.Intn(65536))}
+		if got, want := m.Classify(p), rs.Match(p); got != want {
+			t.Fatalf("overlapping ranges: tcam=%d linear=%d", got, want)
+		}
+	}
+}
+
+func TestPowerModelFitsDatasheet(t *testing.T) {
+	// Must reproduce the two datasheet anchor points within 5%.
+	if p := Ayama10128at77.PowerW(); p < 2.9*0.95 || p > 2.9*1.05 {
+		t.Errorf("Ayama 10128 modelled at %.2f W, datasheet 2.9 W", p)
+	}
+	if p := Ayama10512at133.PowerW(); p < 19.14*0.95 || p > 19.14*1.05 {
+		t.Errorf("Ayama 10512 modelled at %.2f W, datasheet 19.14 W", p)
+	}
+	// Family band: 4.86-19.14 W depending on size (at 133 MHz).
+	small := PowerW(0.576, 133e6)
+	if small < 3 || small > 19.14 {
+		t.Errorf("small TCAM at 133 MHz = %.2f W, expect within family band", small)
+	}
+}
+
+func TestEnergyPerSearch(t *testing.T) {
+	e := Ayama10512at133.EnergyPerSearchJ()
+	// 19.14 W / 133 Mpps ~ 1.4e-7 J per search.
+	if e < 1e-7 || e > 2e-7 {
+		t.Errorf("energy/search %.3e outside expected band", e)
+	}
+}
+
+func TestEntryMatch(t *testing.T) {
+	e := Entry{RuleID: 3}
+	for d := 0; d < rule.NumDims; d++ {
+		e.Care[d] = 0 // fully wildcard
+	}
+	if !e.Matches(rule.Packet{SrcIP: 0xDEADBEEF}) {
+		t.Error("wildcard entry must match everything")
+	}
+	e.Value[rule.DimProto] = 6
+	e.Care[rule.DimProto] = 0xFF
+	if e.Matches(rule.Packet{Proto: 17}) {
+		t.Error("care bits ignored")
+	}
+	if !e.Matches(rule.Packet{Proto: 6}) {
+		t.Error("exact proto should match")
+	}
+}

@@ -1,0 +1,285 @@
+// Package repro is the public API of this reproduction of "Energy
+// Efficient Packet Classification Hardware Accelerator" (Kennedy, Wang &
+// Liu, IPDPS/IPPS 2008).
+//
+// It provides a small facade over the internal packages:
+//
+//   - generate ClassBench-style rulesets and packet traces
+//     (GenerateRuleset, GenerateTrace);
+//   - build the paper's modified HiCuts/HyperCuts search structure and
+//     run it on the cycle-accurate accelerator model (BuildAccelerator,
+//     Accelerator.Classify / Run);
+//   - compare against the software baselines the paper uses
+//     (NewSoftwareBaseline);
+//   - regenerate every evaluation table (WriteAllTables).
+//
+// See examples/ for runnable walkthroughs and DESIGN.md for the system
+// inventory.
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/classbench"
+	"repro/internal/core"
+	"repro/internal/hicuts"
+	"repro/internal/hwsim"
+	"repro/internal/hypercuts"
+	"repro/internal/linear"
+	"repro/internal/rule"
+	"repro/internal/sa1100"
+)
+
+// Re-exported primitive types.
+type (
+	// Packet is a 5-tuple packet header.
+	Packet = rule.Packet
+	// Rule is one classification rule.
+	Rule = rule.Rule
+	// RuleSet is a priority-ordered rule list.
+	RuleSet = rule.RuleSet
+	// Range is a closed interval within one header dimension.
+	Range = rule.Range
+)
+
+// Algorithm selects the decision-tree algorithm.
+type Algorithm = core.Algorithm
+
+// Algorithm values.
+const (
+	HiCuts    = core.HiCuts
+	HyperCuts = core.HyperCuts
+)
+
+// Target selects the simulated implementation technology.
+type Target int
+
+// Implementation targets with the paper's Table 5 operating points.
+const (
+	// TargetASIC is the 65 nm ASIC at 226 MHz.
+	TargetASIC Target = iota
+	// TargetFPGA is the Virtex5SX95T at 77 MHz.
+	TargetFPGA
+)
+
+// GenerateRuleset produces an n-rule synthetic filter set in the style of
+// the ClassBench seed named by profile: "acl1", "fw1" or "ipc1".
+func GenerateRuleset(profile string, n int, seed int64) (RuleSet, error) {
+	p, err := classbench.ProfileByName(profile)
+	if err != nil {
+		return nil, err
+	}
+	return classbench.Generate(p, n, seed), nil
+}
+
+// GenerateTrace produces an n-packet header trace for rs (mostly packets
+// matching rules, with Zipf-skewed rule popularity).
+func GenerateTrace(rs RuleSet, n int, seed int64) []Packet {
+	return classbench.GenerateTrace(rs, n, seed)
+}
+
+// Config tunes the accelerator build.
+type Config struct {
+	// Algorithm is HiCuts or HyperCuts (default HyperCuts, the paper's
+	// best performer after modification).
+	Algorithm Algorithm
+	// Binth and Spfac follow the paper (§3); zero values select the
+	// defaults used in its tables (binth 120, spfac 4).
+	Binth, Spfac int
+	// CompactLeaves selects the paper's speed=0 leaf packing (fully
+	// contiguous, most memory-efficient). The default is speed=1,
+	// which the paper's tables use.
+	CompactLeaves bool
+	// Target picks the simulated device (default ASIC).
+	Target Target
+}
+
+// Accelerator is a built search structure loaded into the simulated
+// hardware classifier.
+type Accelerator struct {
+	tree *core.Tree
+	sim  *hwsim.Sim
+	dev  hwsim.Device
+}
+
+// BuildAccelerator constructs the modified decision tree for rs, encodes
+// it into 4800-bit memory words, and loads it into a simulated device.
+func BuildAccelerator(rs RuleSet, cfg Config) (*Accelerator, error) {
+	ccfg := core.DefaultConfig(cfg.Algorithm)
+	if cfg.Binth > 0 {
+		ccfg.Binth = cfg.Binth
+	}
+	if cfg.Spfac > 0 {
+		ccfg.Spfac = cfg.Spfac
+	}
+	ccfg.Speed = 1
+	if cfg.CompactLeaves {
+		ccfg.Speed = 0
+	}
+	tree, err := core.Build(rs, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	img, err := tree.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("repro: structure built (%d words) but not encodable: %w", tree.Words(), err)
+	}
+	dev := hwsim.ASIC
+	if cfg.Target == TargetFPGA {
+		dev = hwsim.FPGA
+	}
+	sim, err := hwsim.New(img, dev)
+	if err != nil {
+		return nil, err
+	}
+	return &Accelerator{tree: tree, sim: sim, dev: dev}, nil
+}
+
+// Classify returns the highest-priority matching rule ID for p, or -1.
+func (a *Accelerator) Classify(p Packet) int { return a.sim.ClassifyOne(p).Match }
+
+// ClassifyDetailed additionally reports the lookup's latency in clock
+// cycles and memory reads.
+func (a *Accelerator) ClassifyDetailed(p Packet) (match, latencyCycles, memReads int) {
+	r := a.sim.ClassifyOne(p)
+	return r.Match, r.LatencyCycles, r.MemReads
+}
+
+// Stats summarizes a trace run on the accelerator.
+type Stats = hwsim.Stats
+
+// Run classifies a whole trace, returning per-packet matches and
+// aggregate throughput/energy statistics.
+func (a *Accelerator) Run(trace []Packet) ([]int, Stats) { return a.sim.Run(trace) }
+
+// MemoryBytes is the search-structure size (words x 600 bytes).
+func (a *Accelerator) MemoryBytes() int { return a.tree.MemoryBytes() }
+
+// Words is the number of 4800-bit memory words used (device holds 1024).
+func (a *Accelerator) Words() int { return a.tree.Words() }
+
+// WorstCaseCycles is the guaranteed per-packet bound (Tables 4 and 8).
+func (a *Accelerator) WorstCaseCycles() int { return a.tree.WorstCaseCycles() }
+
+// GuaranteedPPS is the worst-case sustained throughput: the pipeline
+// overlap hides one cycle (paper §4).
+func (a *Accelerator) GuaranteedPPS() float64 {
+	return hwsim.WorstCaseThroughputPPS(a.dev, a.tree.WorstCaseCycles())
+}
+
+// DeviceName names the simulated implementation target.
+func (a *Accelerator) DeviceName() string { return a.dev.Name }
+
+// Insert adds a rule at the lowest priority (ID must equal the current
+// rule count) and reloads the accelerator memory, modelling the paper's
+// §4 control-plane update path: the off-chip copy of the structure is
+// patched, re-laid-out and written back through the load interface.
+func (a *Accelerator) Insert(r Rule) error {
+	if err := a.tree.Insert(r); err != nil {
+		return err
+	}
+	return a.reload()
+}
+
+// Delete removes a rule by ID and reloads the accelerator memory.
+func (a *Accelerator) Delete(id int) error {
+	if err := a.tree.Delete(id); err != nil {
+		return err
+	}
+	return a.reload()
+}
+
+// Degradation reports the fraction of leaves pushed past the build-time
+// threshold by incremental updates; rebuild via BuildAccelerator when it
+// exceeds the operator's tolerance.
+func (a *Accelerator) Degradation() float64 { return a.tree.Degradation() }
+
+func (a *Accelerator) reload() error {
+	img, err := a.tree.Encode()
+	if err != nil {
+		return fmt.Errorf("repro: updated structure not encodable: %w", err)
+	}
+	sim, err := hwsim.New(img, a.dev)
+	if err != nil {
+		return err
+	}
+	a.sim = sim
+	return nil
+}
+
+// SoftwareBaseline is one of the paper's software comparison points
+// running on the modelled StrongARM SA-1100.
+type SoftwareBaseline struct {
+	name string
+	c    sa1100.TracedClassifier
+}
+
+// NewSoftwareBaseline builds a software classifier: "hicuts", "hypercuts"
+// or "linear".
+func NewSoftwareBaseline(kind string, rs RuleSet) (*SoftwareBaseline, error) {
+	switch kind {
+	case "hicuts":
+		t, err := hicuts.Build(rs, hicuts.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return &SoftwareBaseline{kind, t}, nil
+	case "hypercuts":
+		t, err := hypercuts.Build(rs, hypercuts.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return &SoftwareBaseline{kind, t}, nil
+	case "linear":
+		return &SoftwareBaseline{kind, linear.New(rs)}, nil
+	}
+	return nil, fmt.Errorf("repro: unknown baseline %q (want hicuts, hypercuts or linear)", kind)
+}
+
+// Name returns the baseline's kind.
+func (s *SoftwareBaseline) Name() string { return s.name }
+
+// Classify returns the matching rule ID or -1.
+func (s *SoftwareBaseline) Classify(p Packet) int {
+	m, _ := s.c.ClassifyTraced(p, nil)
+	return m
+}
+
+// Measure runs the trace on the SA-1100 cost model, returning throughput
+// and energy statistics comparable with Accelerator.Run.
+func (s *SoftwareBaseline) Measure(trace []Packet) sa1100.ClassStats {
+	return sa1100.MeasureClassification(s.c, trace, sa1100.DefaultCosts())
+}
+
+// WriteAllTables regenerates every evaluation table of the paper (Tables
+// 2-8 plus the §5.2/§5.3 headline claims) and writes them to w. Options
+// zero value uses the paper's sizes; see internal/bench for knobs.
+func WriteAllTables(w io.Writer, opts bench.Options) error {
+	rows, err := bench.RunACL1(opts)
+	if err != nil {
+		return err
+	}
+	for _, t := range []*bench.Table{
+		bench.Table2(rows), bench.Table3(rows), bench.Table5(),
+		bench.Table6(rows), bench.Table7(rows), bench.Table8(rows),
+	} {
+		if _, err := fmt.Fprintln(w, t.Format()); err != nil {
+			return err
+		}
+	}
+	t4, err := bench.RunTable4(opts)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, bench.Table4(t4).Format()); err != nil {
+		return err
+	}
+	cl, err := bench.RunClaims(opts)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, bench.ClaimsTable(cl).Format())
+	return err
+}

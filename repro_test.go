@@ -1,0 +1,129 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	rs, err := GenerateRuleset("acl1", 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := BuildAccelerator(rs, Config{Algorithm: HyperCuts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := NewSoftwareBaseline("linear", rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := GenerateTrace(rs, 2000, 6)
+	for i, p := range trace {
+		if got, want := acc.Classify(p), lin.Classify(p); got != want {
+			t.Fatalf("packet %d: accelerator=%d linear=%d", i, got, want)
+		}
+	}
+	if acc.MemoryBytes() != acc.Words()*600 {
+		t.Error("memory accounting inconsistent")
+	}
+	if acc.WorstCaseCycles() < 2 {
+		t.Error("worst case below minimum")
+	}
+	if acc.GuaranteedPPS() <= 0 {
+		t.Error("no guaranteed throughput")
+	}
+	if acc.DeviceName() == "" {
+		t.Error("no device name")
+	}
+	m, lat, reads := acc.ClassifyDetailed(trace[0])
+	if lat != reads+1 {
+		t.Errorf("latency %d != reads %d + 1", lat, reads)
+	}
+	if m != lin.Classify(trace[0]) {
+		t.Errorf("detailed match mismatch")
+	}
+}
+
+func TestFacadeTargets(t *testing.T) {
+	rs, err := GenerateRuleset("ipc1", 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asic, err := BuildAccelerator(rs, Config{Target: TargetASIC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpga, err := BuildAccelerator(rs, Config{Target: TargetFPGA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := GenerateTrace(rs, 1000, 8)
+	_, stA := asic.Run(trace)
+	_, stF := fpga.Run(trace)
+	if stA.PacketsPerSecond <= stF.PacketsPerSecond {
+		t.Errorf("ASIC (%.0f pps) should outrun FPGA (%.0f pps)", stA.PacketsPerSecond, stF.PacketsPerSecond)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	rs, err := GenerateRuleset("fw1", 150, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := GenerateTrace(rs, 1500, 10)
+	for _, kind := range []string{"hicuts", "hypercuts", "linear"} {
+		bl, err := NewSoftwareBaseline(kind, rs)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if bl.Name() != kind {
+			t.Errorf("Name = %q", bl.Name())
+		}
+		st := bl.Measure(trace)
+		if st.PacketsPerSecond <= 0 || st.EnergyPerPacketJ <= 0 {
+			t.Errorf("%s: empty stats", kind)
+		}
+	}
+	if _, err := NewSoftwareBaseline("nope", rs); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+	if _, err := GenerateRuleset("nope", 10, 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestFacadeSpeedKnob(t *testing.T) {
+	rs, err := GenerateRuleset("acl1", 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := BuildAccelerator(rs, Config{Algorithm: HiCuts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, err := BuildAccelerator(rs, Config{Algorithm: HiCuts, CompactLeaves: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compact.Words() > fast.Words() {
+		t.Errorf("speed 0 (%d words) must not exceed speed 1 (%d words)", compact.Words(), fast.Words())
+	}
+}
+
+func TestWriteAllTables(t *testing.T) {
+	var buf bytes.Buffer
+	opts := bench.Options{Seed: 7, Sizes: []int{60, 150}, Table4Sizes: []int{300}, TracePackets: 1500}
+	if err := WriteAllTables(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "Table 7", "Table 8", "Headline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/rule"
+)
+
+func TestAcceleratorIncrementalUpdates(t *testing.T) {
+	rs, err := GenerateRuleset("acl1", 200, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := BuildAccelerator(rs, Config{Algorithm: HyperCuts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Insert a handful of new rules and verify semantics after each.
+	extra, err := GenerateRuleset("ipc1", 20, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := append(RuleSet{}, rs...)
+	for i := range extra {
+		r := extra[i]
+		r.ID = len(full)
+		if err := acc.Insert(r); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		full = append(full, r)
+	}
+	trace := GenerateTrace(full, 2500, 23)
+	for i, p := range trace {
+		if got, want := acc.Classify(p), full.Match(p); got != want {
+			t.Fatalf("after inserts, packet %d: %d vs %d", i, got, want)
+		}
+	}
+
+	// Delete one and re-verify.
+	if err := acc.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	expect := func(p Packet) int {
+		for i := range full {
+			if full[i].ID == 5 {
+				continue
+			}
+			if full[i].Matches(p) {
+				return full[i].ID
+			}
+		}
+		return -1
+	}
+	for i, p := range trace {
+		if got, want := acc.Classify(p), expect(p); got != want {
+			t.Fatalf("after delete, packet %d: %d vs %d", i, got, want)
+		}
+	}
+
+	if acc.Degradation() < 0 || acc.Degradation() > 1 {
+		t.Errorf("degradation %.3f out of range", acc.Degradation())
+	}
+
+	// Insert with a wrong ID must fail cleanly.
+	bad := rule.New(3, 0, 0, 0, 0, rule.FullRange(rule.DimSrcPort), rule.FullRange(rule.DimDstPort), 0, true)
+	if err := acc.Insert(bad); err == nil {
+		t.Error("insert with stale ID accepted")
+	}
+}
