@@ -327,3 +327,21 @@ func BenchmarkAcceleratorLookup(b *testing.B) {
 		acc.Classify(trace[i&1023])
 	}
 }
+
+// BenchmarkEngineLookup measures the flat software engine through the
+// facade (compare with BenchmarkAcceleratorLookup: same tree, flat arrays
+// instead of the interpreted memory image).
+func BenchmarkEngineLookup(b *testing.B) {
+	rs := classbench.Generate(classbench.ACL1(), 1000, 2008)
+	acc, err := BuildAccelerator(rs, Config{Algorithm: HyperCuts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := acc.SoftwareEngine()
+	trace := GenerateTrace(rs, 1024, 2010)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Classify(trace[i&1023])
+	}
+}

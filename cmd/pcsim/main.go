@@ -15,10 +15,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"repro/internal/bench"
 	"repro/internal/classbench"
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/engine"
 	"repro/internal/hwsim"
 	"repro/internal/rule"
 )
@@ -119,9 +122,13 @@ func run(rulesFile, traceFile, profile string, n, traceN int, seed int64, algo, 
 		dev.Name, hwsim.WorstCaseThroughputPPS(dev, tree.WorstCaseCycles()),
 		energy.HighestLine(hwsim.WorstCaseThroughputPPS(dev, tree.WorstCaseCycles())))
 
+	// Software fast path: the same tree flattened into the host engine.
+	eng := engine.Compile(tree)
+
 	if !tree.FitsDevice() {
 		fmt.Printf("NOTE: structure exceeds the 1024-word device; simulation skipped.\n")
 		fmt.Printf("      (the paper suggests doubling memory words or reducing spfac)\n")
+		reportEngine(eng, trace)
 		return nil
 	}
 	img, err := tree.Encode()
@@ -132,8 +139,11 @@ func run(rulesFile, traceFile, profile string, n, traceN int, seed int64, algo, 
 	if err != nil {
 		return err
 	}
-	_, st := sim.Run(trace)
-	fmt.Printf("trace: %d packets, %d matched (%.1f%%)\n",
+	_, st, err := sim.RunVerified(trace, eng)
+	if err != nil {
+		return fmt.Errorf("simulator/engine divergence: %w", err)
+	}
+	fmt.Printf("trace: %d packets, %d matched (%.1f%%); software engine agrees on every packet\n",
 		st.Packets, st.Matched, 100*float64(st.Matched)/float64(st.Packets))
 	fmt.Printf("cycles: %d total, %.3f per packet sustained, worst observed latency %d\n",
 		st.Cycles, st.AvgCyclesPerPacket, st.WorstLatency)
@@ -141,5 +151,21 @@ func run(rulesFile, traceFile, profile string, n, traceN int, seed int64, algo, 
 		st.PacketsPerSecond, dev.FreqHz/1e6, energy.HighestLine(st.PacketsPerSecond))
 	fmt.Printf("energy: %.3e J/packet (normalized %.2f mW average power)\n",
 		st.EnergyPerPacketJ, dev.PowerW*1000)
+	reportEngine(eng, trace)
 	return nil
+}
+
+// reportEngine measures the flat engine's wall-clock throughput on the
+// host: single-core batched and sharded across all cores.
+func reportEngine(eng *engine.Engine, trace []rule.Packet) {
+	if len(trace) == 0 {
+		return
+	}
+	out := make([]int32, len(trace))
+	single := bench.MeasurePPS(trace, func(t []rule.Packet) { eng.ClassifyBatch(t, out) })
+	workers := runtime.GOMAXPROCS(0)
+	parallel := bench.MeasurePPS(trace, func(t []rule.Packet) { eng.ParallelClassify(t, out, workers) })
+	fmt.Printf("host engine (%d nodes, %d bytes flat): %.0f pps single-core (%s), %.0f pps on %d cores (%s)\n",
+		eng.NumNodes(), eng.MemoryBytes(),
+		single, energy.HighestLine(single), parallel, workers, energy.HighestLine(parallel))
 }

@@ -29,6 +29,7 @@ func main() {
 		quick       = flag.Bool("quick", false, "reduced sizes for a fast run")
 		ablation    = flag.Bool("ablation", false, "also print the design-decision ablations")
 		sensitivity = flag.Bool("sensitivity", false, "also print the seed-sensitivity study")
+		engineTbl   = flag.Bool("engine", false, "also print host flat-engine throughput (not a paper table)")
 	)
 	flag.Parse()
 
@@ -41,13 +42,13 @@ func main() {
 		}
 	}
 
-	if err := run(*table, *ablation, *sensitivity, opts); err != nil {
+	if err := run(*table, *ablation, *sensitivity, *engineTbl, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pctables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, ablation, sensitivity bool, opts bench.Options) error {
+func run(table int, ablation, sensitivity, engineTbl bool, opts bench.Options) error {
 	needACL := table == 0 || table == 2 || table == 3 || table == 6 || table == 7 || table == 8
 	var rows []bench.ACL1Row
 	var err error
@@ -88,6 +89,14 @@ func run(table int, ablation, sensitivity bool, opts bench.Options) error {
 			return err
 		}
 		fmt.Println(bench.AblationTable(ab).Format())
+	}
+	if engineTbl {
+		fmt.Fprintln(os.Stderr, "measuring host flat-engine throughput...")
+		rows, err := bench.RunEngine(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.EngineTable(rows).Format())
 	}
 	if sensitivity {
 		fmt.Fprintln(os.Stderr, "running seed-sensitivity study...")

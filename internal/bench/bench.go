@@ -12,6 +12,7 @@ import (
 	"repro/internal/classbench"
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/engine"
 	"repro/internal/hicuts"
 	"repro/internal/hwsim"
 	"repro/internal/hypercuts"
@@ -145,7 +146,13 @@ func RunACL1(opts Options) ([]ACL1Row, error) {
 			if err != nil {
 				return nil, fmt.Errorf("asic sim n=%d: %w", n, err)
 			}
-			_, stA := simA.Run(trace)
+			// Cross-check the simulated datapath against the flat
+			// software engine while measuring: every table row is then
+			// backed by a packet-exact agreement proof.
+			_, stA, err := simA.RunVerified(trace, engine.Compile(hw.tree))
+			if err != nil {
+				return nil, fmt.Errorf("asic sim n=%d: %w", n, err)
+			}
 			*hw.asicE, *hw.asicP = stA.EnergyPerPacketJ, stA.PacketsPerSecond
 
 			simF, err := hwsim.New(img, hwsim.FPGA)

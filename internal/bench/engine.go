@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rule"
+)
+
+// Host-engine measurements: unlike Tables 2-8, which model the paper's
+// SA-1100 software and ASIC/FPGA hardware targets, these rows measure the
+// repository's own flat classification engine on the host CPU — the
+// production software fast path the ROADMAP grows toward. Wall-clock
+// numbers, so they vary with the machine; use scripts/bench.sh for
+// benchstat-grade comparisons.
+
+// EngineRow is one host measurement: pointer-walking tree vs flat engine
+// (single core and sharded), plus sequential vs pooled build time.
+type EngineRow struct {
+	N    int
+	Algo string
+
+	// BuildSeqMS/BuildParMS are core.Build wall times with Workers=1 and
+	// Workers=GOMAXPROCS.
+	BuildSeqMS, BuildParMS float64
+
+	// TreePPS is core.Tree.Classify packets/sec (the pre-engine path).
+	TreePPS float64
+	// EnginePPS is engine.ClassifyBatch packets/sec on one core.
+	EnginePPS float64
+	// ParallelPPS is engine.ParallelClassify packets/sec on all cores.
+	ParallelPPS float64
+	// SpeedupX is EnginePPS / TreePPS (single-core flat-layout gain).
+	SpeedupX float64
+}
+
+// RunEngine measures host classification throughput for every ruleset
+// size in opts, for both algorithms. Every engine is differentially
+// checked against the tree on the measurement trace before timing.
+func RunEngine(opts Options) ([]EngineRow, error) {
+	opts.sanitize()
+	var rows []EngineRow
+	for _, n := range opts.Sizes {
+		rs := classbench.Generate(classbench.ACL1(), n, opts.Seed)
+		trace := classbench.GenerateTrace(rs, opts.TracePackets, opts.Seed+1)
+		for _, algo := range []core.Algorithm{core.HiCuts, core.HyperCuts} {
+			row := EngineRow{N: n, Algo: algo.String()}
+
+			cfg := core.DefaultConfig(algo)
+			cfg.Workers = 1
+			start := time.Now()
+			tree, err := core.Build(rs, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("engine bench %v n=%d: %w", algo, n, err)
+			}
+			row.BuildSeqMS = float64(time.Since(start).Microseconds()) / 1e3
+
+			cfg.Workers = runtime.GOMAXPROCS(0)
+			start = time.Now()
+			parTree, err := core.Build(rs, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("engine bench %v n=%d parallel: %w", algo, n, err)
+			}
+			row.BuildParMS = float64(time.Since(start).Microseconds()) / 1e3
+
+			eng := engine.Compile(parTree)
+			for i, p := range trace {
+				if got, want := eng.Classify(p), tree.Classify(p); got != want {
+					return nil, fmt.Errorf("engine bench %v n=%d: packet %d: engine=%d tree=%d",
+						algo, n, i, got, want)
+				}
+			}
+
+			out := make([]int32, len(trace))
+			row.TreePPS = MeasurePPS(trace, func(t []rule.Packet) {
+				for i := range t {
+					out[i] = int32(tree.Classify(t[i]))
+				}
+			})
+			row.EnginePPS = MeasurePPS(trace, func(t []rule.Packet) {
+				eng.ClassifyBatch(t, out)
+			})
+			row.ParallelPPS = MeasurePPS(trace, func(t []rule.Packet) {
+				eng.ParallelClassify(t, out, 0)
+			})
+			row.SpeedupX = row.EnginePPS / row.TreePPS
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// MeasurePPS repeats classify over the trace until enough wall time has
+// elapsed for a stable packets/sec estimate. It is the one timing loop
+// shared by the table rows and cmd/pcsim's host-engine report.
+func MeasurePPS(trace []rule.Packet, classify func([]rule.Packet)) float64 {
+	const minDur = 30 * time.Millisecond
+	start := time.Now()
+	n := 0
+	for time.Since(start) < minDur {
+		classify(trace)
+		n += len(trace)
+	}
+	return float64(n) / time.Since(start).Seconds()
+}
+
+// EngineTable renders the host-engine comparison.
+func EngineTable(rows []EngineRow) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Host engine throughput (flat engine vs pointer tree, %d cores)", runtime.GOMAXPROCS(0)),
+		Header: []string{"Rules", "Algorithm", "BuildSeq ms", "BuildPar ms", "Tree pps", "Engine pps", "Parallel pps", "Speedup"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			itoa(r.N), r.Algo,
+			fmt.Sprintf("%.1f", r.BuildSeqMS), fmt.Sprintf("%.1f", r.BuildParMS),
+			f0(r.TreePPS), f0(r.EnginePPS), f0(r.ParallelPPS),
+			fmt.Sprintf("%.2fx", r.SpeedupX),
+		})
+	}
+	return t
+}

@@ -2,12 +2,23 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/rule"
 )
 
 // Build constructs the modified decision tree for rs and lays it out into
 // accelerator memory words.
+//
+// The build fans the child-subtree recursion out over a bounded worker
+// pool (Config.Workers): whenever a worker is free, a child subtree is
+// handed to it instead of being built inline. Every worker carries its own
+// scratch buffers and BuildStats, merged when its subtree completes, so
+// the hot loops stay allocation-free and lock-free; only the shared leaf
+// cache takes a mutex. Because each subtree's cut decisions depend only on
+// its own rule list and region prefix, the parallel build produces a tree
+// whose structure, layout and statistics are identical to the sequential
+// (Workers=1) build.
 func Build(rs rule.RuleSet, cfg Config) (*Tree, error) {
 	if err := cfg.sanitize(); err != nil {
 		return nil, err
@@ -21,7 +32,11 @@ func Build(rs rule.RuleSet, cfg Config) (*Tree, error) {
 	// Own a copy: incremental updates (Insert/Delete) mutate the stored
 	// ruleset and must not corrupt the caller's slice.
 	rs = append(rule.RuleSet(nil), rs...)
-	b := &builder{cfg: cfg, rules: rs, leafCache: make(map[string]*Node)}
+	sh := &buildShared{cfg: cfg, rules: rs, leafCache: make(map[uint64][]*Node)}
+	if extra := cfg.Workers - 1; extra > 0 {
+		sh.sem = make(chan struct{}, extra)
+	}
+	b := sh.newWorker()
 	ids := make([]int32, len(rs))
 	for i := range rs {
 		ids[i] = int32(i)
@@ -35,11 +50,75 @@ func Build(rs rule.RuleSet, cfg Config) (*Tree, error) {
 	return t, nil
 }
 
+// buildShared is the build state common to all workers: the immutable
+// inputs, the worker-pool semaphore and the mutex-guarded leaf cache.
+type buildShared struct {
+	cfg   Config
+	rules rule.RuleSet
+
+	// sem holds one token per additional worker; a child subtree is built
+	// on its own goroutine only while a token is available, bounding
+	// concurrency at Config.Workers. nil disables fan-out entirely.
+	sem chan struct{}
+
+	// leafCache deduplicates leaves with identical rule lists across the
+	// whole tree (including the shared empty leaf), keyed by a 64-bit
+	// hash of the ID list with chained equality on collision — no string
+	// key is materialized per leaf.
+	mu        sync.Mutex
+	leafCache map[uint64][]*Node
+}
+
+func (sh *buildShared) newWorker() *builder {
+	return &builder{shared: sh, cfg: sh.cfg, rules: sh.rules}
+}
+
+// builder is one build worker: private statistics plus reusable scratch
+// buffers so the per-node hot loops (remainders, cut evaluation,
+// distribution) allocate nothing after warm-up.
 type builder struct {
-	cfg       Config
-	rules     rule.RuleSet
-	stats     BuildStats
-	leafCache map[string]*Node
+	shared *buildShared
+	cfg    Config
+	rules  rule.RuleSet
+	stats  BuildStats
+
+	// rlo/rhi hold one dimension's per-rule footprint (chooseHiCuts).
+	rlo, rhi []uint8
+	// dimLo/dimHi hold per-dimension footprints that must stay live
+	// simultaneously (chooseHyperCuts candidates, distribute).
+	dimLo, dimHi [rule.NumDims][]uint8
+	// spanBuf holds distribute's per-cut-dimension child spans.
+	spanBuf [rule.NumDims][][2]int
+	// idxBuf is the enumerateBox odometer, hoisted out of the per-rule
+	// distribution loop.
+	idxBuf [rule.NumDims]int
+	// gridBuf is evalMulti's child-population histogram (<= MaxCuts).
+	gridBuf []int32
+}
+
+// grow returns b resized to n, reallocating only when capacity is short.
+// Contents are unspecified; every caller fully overwrites (or zeroes) the
+// returned slice.
+func grow[T any](b []T, n int) []T {
+	if cap(b) < n {
+		return make([]T, n)
+	}
+	return b[:n]
+}
+
+// merge folds a finished child worker's statistics into the parent's.
+func (s *BuildStats) merge(o BuildStats) {
+	s.Nodes += o.Nodes
+	s.Internal += o.Internal
+	s.Leaves += o.Leaves
+	if o.MaxDepth > s.MaxDepth {
+		s.MaxDepth = o.MaxDepth
+	}
+	s.CutEvaluations += o.CutEvaluations
+	s.RuleChildOps += o.RuleChildOps
+	s.RulePushes += o.RulePushes
+	s.ReplicatedRules += o.ReplicatedRules
+	s.OverflowLeaves += o.OverflowLeaves
 }
 
 // remainders computes, for every rule at a node and one dimension, the
@@ -139,6 +218,12 @@ func (b *builder) build(ids []int32, prefixLen [rule.NumDims]int, prefixVal [rul
 
 	strides := bitStrides(bits)
 	node.Children = make([]*Node, np)
+	// Fan child subtrees out over the worker pool. Children that stay
+	// inline reuse this worker's scratch; spawned children get a fresh
+	// worker whose stats are merged after the join, so no ordering of
+	// goroutine completion can change the totals.
+	var wg sync.WaitGroup
+	var spawned []*builder
 	for i, c := range childIDs {
 		if len(c) == 0 {
 			// Empty regions all point at one shared empty leaf (the
@@ -155,7 +240,28 @@ func (b *builder) build(ids []int32, prefixLen [rule.NumDims]int, prefixVal [rul
 			childVal[d] = childVal[d]<<uint(bits[j]) | uint32(comp)
 			childLen[d] += bits[j]
 		}
+		// Only subtrees above the leaf threshold are worth a goroutine;
+		// anything at or below Binth terminates immediately.
+		if b.shared.sem != nil && len(c) > b.cfg.Binth {
+			select {
+			case b.shared.sem <- struct{}{}:
+				w := b.shared.newWorker()
+				spawned = append(spawned, w)
+				wg.Add(1)
+				go func(slot int, cids []int32, cl [rule.NumDims]int, cv [rule.NumDims]uint32) {
+					defer wg.Done()
+					node.Children[slot] = w.build(cids, cl, cv, depth+1)
+					<-b.shared.sem
+				}(i, c, childLen, childVal)
+				continue
+			default:
+			}
+		}
 		node.Children[i] = b.build(c, childLen, childVal, depth+1)
+	}
+	wg.Wait()
+	for _, w := range spawned {
+		b.stats.merge(w.stats)
 	}
 	return node
 }
@@ -254,27 +360,48 @@ func ChildIndex(cuts []DimCut, p rule.Packet) int {
 }
 
 func (b *builder) makeLeaf(ids []int32) *Node {
-	key := idsKey(ids)
-	if l, ok := b.leafCache[key]; ok {
-		return l
+	sh := b.shared
+	h := hashIDs(ids)
+	sh.mu.Lock()
+	for _, l := range sh.leafCache[h] {
+		if equalIDs(l.Rules, ids) {
+			sh.mu.Unlock()
+			return l
+		}
 	}
+	l := &Node{Leaf: true, Rules: ids}
+	sh.leafCache[h] = append(sh.leafCache[h], l)
+	sh.mu.Unlock()
 	b.stats.Nodes++
 	b.stats.Leaves++
 	b.stats.ReplicatedRules += int64(len(ids))
 	if len(ids) > b.cfg.Binth {
 		b.stats.OverflowLeaves++
 	}
-	l := &Node{Leaf: true, Rules: ids}
-	b.leafCache[key] = l
 	return l
 }
 
-func idsKey(ids []int32) string {
-	buf := make([]byte, 0, len(ids)*4)
+// hashIDs is FNV-1a over the ID words; leaf deduplication keys on it with
+// chained equality, so no per-leaf string key is ever allocated.
+func hashIDs(ids []int32) uint64 {
+	h := uint64(14695981039346656037)
 	for _, id := range ids {
-		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		h ^= uint64(uint32(id))
+		h *= 1099511628211
 	}
-	return string(buf)
+	return h
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // chooseHiCuts picks a single dimension and cut count per the modified
@@ -284,8 +411,9 @@ func idsKey(ids []int32) string {
 func (b *builder) chooseHiCuts(ids []int32, prefixLen [rule.NumDims]int, prefixVal [rule.NumDims]uint32) ([]int, []int) {
 	n := len(ids)
 	budget := int64(b.cfg.Spfac) * int64(n) // Eq. 1/3 space budget
-	rlo := make([]uint8, n)
-	rhi := make([]uint8, n)
+	b.rlo = grow(b.rlo, n)
+	b.rhi = grow(b.rhi, n)
+	rlo, rhi := b.rlo, b.rhi
 	bestDim, bestBits, bestMax := -1, 0, n+1
 	for d := 0; d < rule.NumDims; d++ {
 		avail := 8 - prefixLen[d]
@@ -353,7 +481,11 @@ func (b *builder) spaceMeasure(rlo, rhi []uint8, avail, k int) int64 {
 func (b *builder) maxChild1D(rlo, rhi []uint8, avail, k int) int {
 	np := 1 << uint(k)
 	sh := uint(avail - k)
-	diff := make([]int32, np+1)
+	b.gridBuf = grow(b.gridBuf, np+1)
+	diff := b.gridBuf[:np+1]
+	for i := range diff {
+		diff[i] = 0
+	}
 	for i := range rlo {
 		diff[rlo[i]>>sh]++
 		diff[(rhi[i]>>sh)+1]--
@@ -397,7 +529,9 @@ func (b *builder) chooseHyperCuts(ids []int32, prefixLen [rule.NumDims]int, pref
 		if avail <= 0 || float64(distinct[d]) < mean || distinct[d] <= 1 {
 			continue
 		}
-		di := dimInfo{d: d, avail: avail, rlo: make([]uint8, n), rhi: make([]uint8, n)}
+		b.dimLo[d] = grow(b.dimLo[d], n)
+		b.dimHi[d] = grow(b.dimHi[d], n)
+		di := dimInfo{d: d, avail: avail, rlo: b.dimLo[d], rhi: b.dimHi[d]}
 		b.remainders(ids, d, prefixLen[d], prefixVal[d], di.rlo, di.rhi)
 		cand = append(cand, di)
 	}
@@ -512,7 +646,8 @@ func (b *builder) evalMulti(cand []dimInfo, bits []int) (maxChild int, totalRefs
 		idx int // into cand
 		k   int
 	}
-	var act []active
+	var actArr [rule.NumDims]active
+	act := actArr[:0]
 	np := 1
 	for i := range cand {
 		if bits[i] > 0 {
@@ -523,19 +658,25 @@ func (b *builder) evalMulti(cand []dimInfo, bits []int) (maxChild int, totalRefs
 	if np == 1 {
 		return 0, 0
 	}
-	strides := make([]int, len(act))
+	var strideArr, dimArr [rule.NumDims]int
+	strides := strideArr[:len(act)]
 	s := 1
 	for i := len(act) - 1; i >= 0; i-- {
 		strides[i] = s
 		s <<= uint(act[i].k)
 	}
-	dims := make([]int, len(act))
+	dims := dimArr[:len(act)]
 	for i, a := range act {
 		dims[i] = 1 << uint(a.k)
 	}
-	grid := make([]int32, np)
+	b.gridBuf = grow(b.gridBuf, np)
+	grid := b.gridBuf[:np]
+	for i := range grid {
+		grid[i] = 0
+	}
 	n := len(cand[0].rlo)
-	spans := make([][2]int, len(act))
+	var spanArr [rule.NumDims][2]int
+	spans := spanArr[:len(act)]
 	for r := 0; r < n; r++ {
 		vol := int64(1)
 		for i, a := range act {
@@ -607,32 +748,34 @@ func prefixSumAxis(grid []int32, strides, dims []int, a int) {
 // children — which drives the broad-rule leaf termination.
 func (b *builder) distribute(ids []int32, dims, bits []int, prefixLen [rule.NumDims]int, prefixVal [rule.NumDims]uint32, np int) (children [][]int32, broad int) {
 	n := len(ids)
-	spansAll := make([][][2]int, len(dims))
 	for i, d := range dims {
-		rlo := make([]uint8, n)
-		rhi := make([]uint8, n)
+		b.dimLo[d] = grow(b.dimLo[d], n)
+		b.dimHi[d] = grow(b.dimHi[d], n)
+		rlo, rhi := b.dimLo[d], b.dimHi[d]
 		b.remainders(ids, d, prefixLen[d], prefixVal[d], rlo, rhi)
 		avail := 8 - prefixLen[d]
 		sh := uint(avail - bits[i])
-		sp := make([][2]int, n)
+		b.spanBuf[i] = grow(b.spanBuf[i], n)
+		sp := b.spanBuf[i]
 		for r := 0; r < n; r++ {
 			sp[r] = [2]int{int(rlo[r] >> sh), int(rhi[r] >> sh)}
 		}
-		spansAll[i] = sp
 	}
 	strides := bitStrides(bits)
 	children = make([][]int32, np)
-	spans := make([][2]int, len(dims))
+	var spanArr [rule.NumDims][2]int
+	spans := spanArr[:len(dims)]
+	idx := b.idxBuf[:len(dims)]
 	for r, id := range ids {
 		vol := 1
 		for i := range dims {
-			spans[i] = spansAll[i][r]
+			spans[i] = b.spanBuf[i][r]
 			vol *= spans[i][1] - spans[i][0] + 1
 		}
 		if vol*2 >= np {
 			broad++
 		}
-		enumerateBox(spans, strides, func(child int) {
+		enumerateBox(spans, strides, idx, func(child int) {
 			children[child] = append(children[child], id)
 			b.stats.RulePushes++
 		})
@@ -642,10 +785,11 @@ func (b *builder) distribute(ids []int32, dims, bits []int, prefixLen [rule.NumD
 
 // enumerateBox walks every flat child index inside the box of per-dim
 // spans; strides here are bit shifts (child = sum comp_i << stride_i).
-func enumerateBox(spans [][2]int, strides []int, fn func(int)) {
+// idx is the caller-provided odometer buffer (len(spans) entries), hoisted
+// out of per-rule loops so enumeration allocates nothing.
+func enumerateBox(spans [][2]int, strides, idx []int, fn func(int)) {
 	k := len(spans)
-	idx := make([]int, k)
-	for i := range idx {
+	for i := range idx[:k] {
 		idx[i] = spans[i][0]
 	}
 	for {
@@ -680,6 +824,11 @@ func log2(v int) int {
 // Classify walks the logical tree using exactly the hardware's
 // mask/shift/add child-index computation and a priority-ordered leaf scan.
 // It returns the matching rule ID or -1.
+//
+// This pointer-chasing walk is the readable reference; the flat engine in
+// internal/engine compiles the same tree into contiguous arrays and
+// classifies several times faster. Both are differentially tested against
+// internal/linear.
 func (t *Tree) Classify(p rule.Packet) int {
 	n := t.Root
 	for n != nil && !n.Leaf {

@@ -27,6 +27,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/rule"
 )
@@ -108,6 +109,13 @@ type Config struct {
 	CutCap int
 	// MaxDepth bounds recursion (0 = 64).
 	MaxDepth int
+	// Workers bounds the build's worker pool: child subtrees fan out
+	// over up to Workers goroutines (0 = GOMAXPROCS, 1 = fully
+	// sequential). The parallel build is deterministic — it produces a
+	// tree identical in structure, layout and statistics to Workers=1,
+	// because every subtree's cut decisions depend only on its own rule
+	// list and region prefix.
+	Workers int
 	// LeafPointers stores 4-byte rule pointers in leaves instead of full
 	// rules (ablation of the rules-in-leaf modification; costs one extra
 	// cycle per packet in the simulator as the rule fetch becomes a
@@ -152,6 +160,9 @@ func (c *Config) sanitize() error {
 	}
 	if c.MaxDepth <= 0 {
 		c.MaxDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return nil
 }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/classbench"
+)
+
+// TestParallelBuildIdentical asserts the worker-pool build is
+// deterministic: for both algorithms and both speeds, the parallel build
+// must produce exactly the tree the sequential build produces — same
+// statistics, same word count, same breadth-first node layout, same cut
+// headers, same leaf packing and same rule lists.
+func TestParallelBuildIdentical(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Log("single-CPU environment; parallel path still exercised via Workers=4")
+	}
+	for _, prof := range []string{"acl1", "fw1", "ipc1"} {
+		p, err := classbench.ProfileByName(prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := classbench.Generate(p, 800, 2008)
+		for _, algo := range []Algorithm{HiCuts, HyperCuts} {
+			for _, speed := range []int{0, 1} {
+				cfg := DefaultConfig(algo)
+				cfg.Speed = speed
+				cfg.Workers = 1
+				seq, err := Build(rs, cfg)
+				if err != nil {
+					t.Fatalf("%s %v speed=%d sequential: %v", prof, algo, speed, err)
+				}
+				cfg.Workers = 4
+				par, err := Build(rs, cfg)
+				if err != nil {
+					t.Fatalf("%s %v speed=%d parallel: %v", prof, algo, speed, err)
+				}
+				ctx := prof + " " + algo.String()
+				if seq.Stats() != par.Stats() {
+					t.Errorf("%s speed=%d: stats differ\nseq: %+v\npar: %+v", ctx, speed, seq.Stats(), par.Stats())
+				}
+				if seq.Words() != par.Words() {
+					t.Errorf("%s speed=%d: words %d != %d", ctx, speed, seq.Words(), par.Words())
+				}
+				assertSameLayout(t, ctx, seq, par)
+			}
+		}
+	}
+}
+
+func assertSameLayout(t *testing.T, ctx string, seq, par *Tree) {
+	t.Helper()
+	si, pi := seq.Internals(), par.Internals()
+	if len(si) != len(pi) {
+		t.Errorf("%s: internal count %d != %d", ctx, len(si), len(pi))
+		return
+	}
+	for w := range si {
+		a, b := si[w], pi[w]
+		if a.Word != b.Word || len(a.Cuts) != len(b.Cuts) || len(a.Children) != len(b.Children) {
+			t.Errorf("%s: internal %d shape differs", ctx, w)
+			return
+		}
+		for i := range a.Cuts {
+			if a.Cuts[i] != b.Cuts[i] {
+				t.Errorf("%s: internal %d cut %d: %+v != %+v", ctx, w, i, a.Cuts[i], b.Cuts[i])
+				return
+			}
+		}
+		for i := range a.Children {
+			if !sameChildRef(a.Children[i], b.Children[i]) {
+				t.Errorf("%s: internal %d child %d differs", ctx, w, i)
+				return
+			}
+		}
+	}
+	sl, pl := seq.Leaves(), par.Leaves()
+	if len(sl) != len(pl) {
+		t.Errorf("%s: leaf count %d != %d", ctx, len(sl), len(pl))
+		return
+	}
+	for i := range sl {
+		a, b := sl[i], pl[i]
+		if a.Word != b.Word || a.Pos != b.Pos {
+			t.Errorf("%s: leaf %d placed at %d.%d vs %d.%d", ctx, i, a.Word, a.Pos, b.Word, b.Pos)
+			return
+		}
+		if len(a.Rules) != len(b.Rules) {
+			t.Errorf("%s: leaf %d rule count %d != %d", ctx, i, len(a.Rules), len(b.Rules))
+			return
+		}
+		for j := range a.Rules {
+			if a.Rules[j] != b.Rules[j] {
+				t.Errorf("%s: leaf %d rule %d: %d != %d", ctx, i, j, a.Rules[j], b.Rules[j])
+				return
+			}
+		}
+	}
+}
+
+// sameChildRef compares child slots structurally: both nil, both the
+// leaf with identical layout position, or both the internal node with the
+// same word number (subtree contents are covered by the per-word loop).
+func sameChildRef(a, b *Node) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Leaf != b.Leaf {
+		return false
+	}
+	return a.Word == b.Word && a.Pos == b.Pos
+}
+
+// TestParallelBuildClassifies is a lighter end-to-end check at a larger
+// size: sequential and parallel trees classify a trace identically.
+func TestParallelBuildClassifies(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 2000, 2008)
+	trace := classbench.GenerateTrace(rs, 4000, 2009)
+	cfg := DefaultConfig(HyperCuts)
+	cfg.Workers = 1
+	seq, err := Build(rs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = runtime.GOMAXPROCS(0)
+	par, err := Build(rs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range trace {
+		if a, b := seq.Classify(p), par.Classify(p); a != b {
+			t.Fatalf("pkt %d: sequential=%d parallel=%d", i, a, b)
+		}
+	}
+}

@@ -89,7 +89,8 @@ func (t *Tree) insertInto(n *Node, r *rule.Rule, prefixLen [rule.NumDims]int, pr
 	// while slots outside the rule's span correctly keep the old one.
 	freshened := map[*Node]*Node{}
 	visited := map[*Node]bool{}
-	enumerateBox(spans, strides, func(child int) {
+	idx := make([]int, len(spans))
+	enumerateBox(spans, strides, idx, func(child int) {
 		c := n.Children[child]
 		if c == nil {
 			return

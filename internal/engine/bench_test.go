@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+	"repro/internal/rule"
+)
+
+// Throughput benchmarks: the flat engine against the pointer-walking
+// core.Tree.Classify baseline on the same tree and trace. Run via
+// scripts/bench.sh for benchstat-comparable output.
+
+func benchSetup(b *testing.B, algo core.Algorithm) (*core.Tree, *Engine, []rule.Packet) {
+	b.Helper()
+	rs := classbench.Generate(classbench.ACL1(), 2000, 2008)
+	tree, err := core.Build(rs, core.DefaultConfig(algo))
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := classbench.GenerateTrace(rs, 4096, 2009)
+	return tree, Compile(tree), trace
+}
+
+func benchTreeClassify(b *testing.B, algo core.Algorithm) {
+	tree, _, trace := benchSetup(b, algo)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Classify(trace[i&4095])
+	}
+	reportPPS(b)
+}
+
+func benchEngineClassify(b *testing.B, algo core.Algorithm) {
+	_, eng, trace := benchSetup(b, algo)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Classify(trace[i&4095])
+	}
+	reportPPS(b)
+}
+
+func reportPPS(b *testing.B) {
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkTreeClassifyHiCuts is the pointer-walking baseline.
+func BenchmarkTreeClassifyHiCuts(b *testing.B)    { benchTreeClassify(b, core.HiCuts) }
+func BenchmarkTreeClassifyHyperCuts(b *testing.B) { benchTreeClassify(b, core.HyperCuts) }
+
+// BenchmarkEngineClassify* must show >= 2x the Tree baseline (single core).
+func BenchmarkEngineClassifyHiCuts(b *testing.B)    { benchEngineClassify(b, core.HiCuts) }
+func BenchmarkEngineClassifyHyperCuts(b *testing.B) { benchEngineClassify(b, core.HyperCuts) }
+
+// BenchmarkEngineClassifyBatch exercises the zero-allocation batched path.
+func BenchmarkEngineClassifyBatch(b *testing.B) {
+	_, eng, trace := benchSetup(b, core.HyperCuts)
+	out := make([]int32, len(trace))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ClassifyBatch(trace, out)
+	}
+	b.ReportMetric(float64(b.N)*float64(len(trace))/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkEngineParallelClassify shards the batch over all cores.
+func BenchmarkEngineParallelClassify(b *testing.B) {
+	_, eng, trace := benchSetup(b, core.HyperCuts)
+	// A bigger batch so per-call fan-out cost amortizes.
+	big := make([]rule.Packet, 1<<16)
+	for i := range big {
+		big[i] = trace[i&4095]
+	}
+	out := make([]int32, len(big))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ParallelClassify(big, out, 0)
+	}
+	b.ReportMetric(float64(b.N)*float64(len(big))/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// Build benchmarks: sequential vs pooled parallel construction.
+
+func benchBuild(b *testing.B, algo core.Algorithm, workers int) {
+	rs := classbench.Generate(classbench.ACL1(), 2000, 2008)
+	cfg := core.DefaultConfig(algo)
+	cfg.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(rs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildSequentialHiCuts(b *testing.B)    { benchBuild(b, core.HiCuts, 1) }
+func BenchmarkBuildParallelHiCuts(b *testing.B)      { benchBuild(b, core.HiCuts, runtime.GOMAXPROCS(0)) }
+func BenchmarkBuildSequentialHyperCuts(b *testing.B) { benchBuild(b, core.HyperCuts, 1) }
+func BenchmarkBuildParallelHyperCuts(b *testing.B) {
+	benchBuild(b, core.HyperCuts, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkEngineCompile measures tree -> flat image compilation.
+func BenchmarkEngineCompile(b *testing.B) {
+	tree, _, _ := benchSetup(b, core.HyperCuts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compile(tree)
+	}
+}

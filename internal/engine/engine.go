@@ -1,0 +1,256 @@
+// Package engine compiles a built core.Tree into a flat, pointer-free
+// classification engine for the software fast path.
+//
+// The layout mirrors the paper's §4 memory image, translated from
+// 4800-bit hardware words into cache-line-friendly Go slices:
+//
+//   - Internal nodes live in one contiguous []node slice, indexed by the
+//     same Word number core.Tree.layout assigns (root = entry 0, the word
+//     the hardware keeps in register A). A node's entry holds int32
+//     offsets into two shared pools instead of the word's bit fields:
+//     its mask/shift cut header goes to the cuts pool (the per-dimension
+//     mask and barrel-shift bytes of the word header) and its child
+//     pointer array goes to the kids pool (the word's 18-bit cut
+//     entries).
+//   - A child reference is one int32: values >= 0 index the node slice
+//     (an internal "word pointer"), values < 0 are ^v into the leaf
+//     table (the hardware's leaf flag + Word/Pos pair). Empty regions
+//     point at a shared empty leaf, exactly like the hardware's shared
+//     sentinel.
+//   - Leaf rule IDs are packed, in priority order, into one shared
+//     []int32 pool (the rules-in-leaf storage of §3; deduplicated leaves
+//     keep their sharing, so the pool is the software twin of the leaf
+//     words). The 160-bit encoded rules become a flat []flatRule array
+//     indexed by rule ID, scanned with five unrolled range compares — the
+//     software stand-in for the 30 parallel comparators.
+//
+// Traversal therefore never chases a Go pointer: it walks int32 indices
+// through three flat arrays, computing child indexes with the identical
+// mask/shift/add datapath the accelerator implements. Classify and
+// ClassifyBatch perform zero allocations per packet; ParallelClassify
+// shards a batch across cores for multi-Gbps software throughput.
+//
+// The engine is an immutable snapshot: after core.Tree.Insert/Delete,
+// recompile with Compile (incremental engine rebuild is a ROADMAP item).
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rule"
+)
+
+// cut is one dimension of an internal node's cut header: the hardware's
+// 8-bit mask plus signed barrel-shift (positive = right shift).
+type cut struct {
+	dim   uint8
+	mask  uint8
+	shift int8
+}
+
+// node is one internal node: a view into the shared cuts pool and the
+// offset of its child-reference block in the kids pool.
+type node struct {
+	cutOff int32
+	cutLen int32
+	kidOff int32
+}
+
+// leafRef locates one deduplicated leaf's rule IDs in the shared pool.
+type leafRef struct {
+	off int32
+	n   int32
+}
+
+// flatRule is the match form of one rule: closed [lo,hi] per dimension,
+// indexed by rule ID. 40 bytes, so a 30-rule leaf scan touches the same
+// order of memory as one 600-byte hardware word.
+type flatRule struct {
+	lo [rule.NumDims]uint32
+	hi [rule.NumDims]uint32
+}
+
+// Engine is a flat, immutable, pointer-free classification engine. All
+// methods are safe for concurrent use.
+type Engine struct {
+	nodes   []node
+	cuts    []cut
+	kids    []int32
+	leaves  []leafRef
+	ruleIDs []int32
+	rules   []flatRule
+}
+
+// Compile flattens a built tree into an Engine. The tree's layout (Word
+// numbering of internal nodes, first-encounter order of deduplicated
+// leaves) carries over verbatim, so the engine is a software rendering of
+// the exact memory image the accelerator would load.
+func Compile(t *core.Tree) *Engine {
+	internals := t.Internals()
+	leafNodes := t.Leaves()
+	rs := t.Rules()
+
+	e := &Engine{
+		nodes:  make([]node, len(internals)),
+		leaves: make([]leafRef, len(leafNodes), len(leafNodes)+1),
+		rules:  make([]flatRule, len(rs)),
+	}
+	for i := range rs {
+		for d := 0; d < rule.NumDims; d++ {
+			e.rules[i].lo[d] = rs[i].F[d].Lo
+			e.rules[i].hi[d] = rs[i].F[d].Hi
+		}
+	}
+
+	leafIdx := make(map[*core.Node]int32, len(leafNodes))
+	total := 0
+	for _, l := range leafNodes {
+		total += len(l.Rules)
+	}
+	e.ruleIDs = make([]int32, 0, total)
+	for i, l := range leafNodes {
+		leafIdx[l] = int32(i)
+		e.leaves[i] = leafRef{off: int32(len(e.ruleIDs)), n: int32(len(l.Rules))}
+		e.ruleIDs = append(e.ruleIDs, l.Rules...)
+	}
+	// Shared sentinel for nil child slots (core.Build never emits them,
+	// but compiled input is not required to come from Build alone).
+	emptyLeaf := int32(-1)
+
+	for w, n := range internals {
+		// layout() numbers internal nodes breadth-first: n.Word == w.
+		nd := node{
+			cutOff: int32(len(e.cuts)),
+			cutLen: int32(len(n.Cuts)),
+			kidOff: int32(len(e.kids)),
+		}
+		for _, c := range n.Cuts {
+			e.cuts = append(e.cuts, cut{dim: uint8(c.Dim), mask: c.Mask, shift: c.Shift})
+		}
+		for _, c := range n.Children {
+			var ref int32
+			switch {
+			case c == nil:
+				if emptyLeaf < 0 {
+					emptyLeaf = int32(len(e.leaves))
+					e.leaves = append(e.leaves, leafRef{})
+				}
+				ref = ^emptyLeaf
+			case c.Leaf:
+				ref = ^leafIdx[c]
+			default:
+				ref = int32(c.Word)
+			}
+			e.kids = append(e.kids, ref)
+		}
+		e.nodes[w] = nd
+	}
+	return e
+}
+
+// Classify returns the highest-priority matching rule ID for p, or -1.
+// It allocates nothing.
+func (e *Engine) Classify(p rule.Packet) int {
+	f0 := p.SrcIP
+	f1 := p.DstIP
+	f2 := uint32(p.SrcPort)
+	f3 := uint32(p.DstPort)
+	f4 := uint32(p.Proto)
+	// The hardware's register B: the top 8 bits of every field, computed
+	// once per packet instead of once per cut evaluation.
+	var t8 [rule.NumDims]uint8
+	t8[0] = uint8(f0 >> 24)
+	t8[1] = uint8(f1 >> 24)
+	t8[2] = uint8(f2 >> 8)
+	t8[3] = uint8(f3 >> 8)
+	t8[4] = uint8(f4)
+
+	ni := int32(0)
+	for {
+		n := &e.nodes[ni]
+		idx := int32(0)
+		for _, c := range e.cuts[n.cutOff : n.cutOff+n.cutLen] {
+			v := uint32(t8[c.dim] & c.mask)
+			if c.shift >= 0 {
+				idx += int32(v >> uint(c.shift))
+			} else {
+				idx += int32(v << uint(-c.shift))
+			}
+		}
+		ref := e.kids[n.kidOff+idx]
+		if ref >= 0 {
+			ni = ref
+			continue
+		}
+		l := e.leaves[^ref]
+		for _, id := range e.ruleIDs[l.off : l.off+l.n] {
+			r := &e.rules[id]
+			if f0 < r.lo[0] || f0 > r.hi[0] ||
+				f1 < r.lo[1] || f1 > r.hi[1] ||
+				f2 < r.lo[2] || f2 > r.hi[2] ||
+				f3 < r.lo[3] || f3 > r.hi[3] ||
+				f4 < r.lo[4] || f4 > r.hi[4] {
+				continue
+			}
+			return int(id)
+		}
+		return -1
+	}
+}
+
+// ClassifyBatch classifies pkts[i] into out[i] for every i. It performs
+// zero heap allocations; out must be at least as long as pkts.
+func (e *Engine) ClassifyBatch(pkts []rule.Packet, out []int32) {
+	_ = out[:len(pkts)] // bounds check once; panics if out is short
+	for i := range pkts {
+		out[i] = int32(e.Classify(pkts[i]))
+	}
+}
+
+// ParallelClassify classifies pkts into out using up to workers
+// goroutines over contiguous shards (workers <= 0 selects GOMAXPROCS).
+// Aside from the per-call goroutine fan-out it allocates nothing; out
+// must be at least as long as pkts.
+func (e *Engine) ParallelClassify(pkts []rule.Packet, out []int32, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pkts) {
+		workers = len(pkts)
+	}
+	if workers <= 1 {
+		e.ClassifyBatch(pkts, out)
+		return
+	}
+	_ = out[:len(pkts)]
+	chunk := (len(pkts) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < len(pkts); start += chunk {
+		end := min(start+chunk, len(pkts))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			e.ClassifyBatch(pkts[lo:hi], out[lo:hi])
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// NumNodes returns the number of internal nodes in the flat image.
+func (e *Engine) NumNodes() int { return len(e.nodes) }
+
+// NumLeaves returns the number of deduplicated leaves.
+func (e *Engine) NumLeaves() int { return len(e.leaves) }
+
+// NumRules returns the ruleset size.
+func (e *Engine) NumRules() int { return len(e.rules) }
+
+// MemoryBytes returns the engine's flat-image footprint: the node, cut,
+// child, leaf and rule arrays (the software counterpart of
+// core.Tree.MemoryBytes).
+func (e *Engine) MemoryBytes() int {
+	return len(e.nodes)*12 + len(e.cuts)*3 + len(e.kids)*4 +
+		len(e.leaves)*8 + len(e.ruleIDs)*4 + len(e.rules)*40
+}

@@ -44,6 +44,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/rule"
 )
 
@@ -227,6 +228,26 @@ func (s *Sim) Run(trace []rule.Packet) ([]int, Stats) {
 		st.EnergyPerPacketJ = st.TotalEnergyJ / float64(st.Packets)
 	}
 	return matches, st
+}
+
+// RunVerified classifies the trace like Run while cross-checking every
+// match against the flat software engine compiled from the same tree.
+// The simulator interprets the encoded 4800-bit words and the engine
+// walks its own flat arrays, so agreement pins the image encoding, the
+// simulated datapath and the software fast path to each other packet by
+// packet. A mismatch aborts with an error naming the first divergent
+// packet.
+func (s *Sim) RunVerified(trace []rule.Packet, eng *engine.Engine) ([]int, Stats, error) {
+	matches, st := s.Run(trace)
+	want := make([]int32, len(trace))
+	eng.ClassifyBatch(trace, want)
+	for i := range trace {
+		if int32(matches[i]) != want[i] {
+			return matches, st, fmt.Errorf("hwsim: packet %d: simulator matched rule %d, engine matched %d",
+				i, matches[i], want[i])
+		}
+	}
+	return matches, st, nil
 }
 
 // WorstCaseThroughputPPS returns the guaranteed minimum throughput for a

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/classbench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/rule"
 )
 
@@ -203,5 +204,38 @@ func TestLargeDeviceCapacity(t *testing.T) {
 	}
 	if FPGA.Capacity() != core.DeviceWords {
 		t.Errorf("baseline capacity %d", FPGA.Capacity())
+	}
+}
+
+func TestRunVerifiedAgreesWithEngine(t *testing.T) {
+	sim, tr, rs := buildSim(t, core.HyperCuts, classbench.ACL1(), 500, 1, ASIC)
+	trace := classbench.GenerateTrace(rs, 3000, 73)
+	matches, st, err := sim.RunVerified(trace, engine.Compile(tr))
+	if err != nil {
+		t.Fatalf("RunVerified: %v", err)
+	}
+	if st.Packets != int64(len(trace)) || len(matches) != len(trace) {
+		t.Fatalf("stats cover %d packets, want %d", st.Packets, len(trace))
+	}
+	// And the shared result is still the ground truth.
+	for i, p := range trace {
+		if matches[i] != rs.Match(p) {
+			t.Fatalf("packet %d: verified match %d != linear %d", i, matches[i], rs.Match(p))
+		}
+	}
+}
+
+func TestRunVerifiedDetectsMismatch(t *testing.T) {
+	sim, _, rs := buildSim(t, core.HiCuts, classbench.ACL1(), 200, 1, ASIC)
+	trace := classbench.GenerateTrace(rs, 200, 74)
+	// An engine compiled from a tree over a different ruleset must trip
+	// the cross-check (unless, improbably, every match coincides).
+	other := classbench.Generate(classbench.FW1(), 200, 99)
+	wrongTree, err := core.Build(other, core.DefaultConfig(core.HiCuts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sim.RunVerified(trace, engine.Compile(wrongTree)); err == nil {
+		t.Skip("foreign ruleset happened to agree on every trace packet")
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/classbench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hicuts"
 	"repro/internal/hwsim"
 	"repro/internal/hypercuts"
@@ -208,6 +209,37 @@ func (a *Accelerator) reload() error {
 	a.sim = sim
 	return nil
 }
+
+// Engine is the flat software classification engine: the accelerator's
+// search structure compiled into contiguous pointer-free arrays (see
+// internal/engine). Classify and ClassifyBatch allocate nothing per
+// packet; all methods are safe for concurrent use. The engine is an
+// immutable snapshot — rebuild it after Insert/Delete.
+type Engine struct {
+	e *engine.Engine
+}
+
+// SoftwareEngine compiles the accelerator's current search structure into
+// a flat host-CPU engine, the production software fast path.
+func (a *Accelerator) SoftwareEngine() *Engine {
+	return &Engine{e: engine.Compile(a.tree)}
+}
+
+// Classify returns the highest-priority matching rule ID for p, or -1.
+func (e *Engine) Classify(p Packet) int { return e.e.Classify(p) }
+
+// ClassifyBatch classifies pkts[i] into out[i] with zero allocations; out
+// must be at least as long as pkts.
+func (e *Engine) ClassifyBatch(pkts []Packet, out []int32) { e.e.ClassifyBatch(pkts, out) }
+
+// ParallelClassify shards the batch over up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS).
+func (e *Engine) ParallelClassify(pkts []Packet, out []int32, workers int) {
+	e.e.ParallelClassify(pkts, out, workers)
+}
+
+// MemoryBytes is the engine's flat-image footprint.
+func (e *Engine) MemoryBytes() int { return e.e.MemoryBytes() }
 
 // SoftwareBaseline is one of the paper's software comparison points
 // running on the modelled StrongARM SA-1100.

@@ -127,3 +127,32 @@ func TestWriteAllTables(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeSoftwareEngine(t *testing.T) {
+	rs, err := GenerateRuleset("acl1", 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := BuildAccelerator(rs, Config{Algorithm: HyperCuts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := acc.SoftwareEngine()
+	if eng.MemoryBytes() <= 0 {
+		t.Error("engine footprint not positive")
+	}
+	trace := GenerateTrace(rs, 2000, 8)
+	out := make([]int32, len(trace))
+	eng.ClassifyBatch(trace, out)
+	par := make([]int32, len(trace))
+	eng.ParallelClassify(trace, par, 0)
+	for i, p := range trace {
+		want := acc.Classify(p)
+		if got := eng.Classify(p); got != want {
+			t.Fatalf("pkt %d: engine=%d accelerator=%d", i, got, want)
+		}
+		if int(out[i]) != want || int(par[i]) != want {
+			t.Fatalf("pkt %d: batch=%d parallel=%d accelerator=%d", i, out[i], par[i], want)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Run the classification/build benchmarks with benchstat-comparable
+# output. Typical perf-PR workflow:
+#
+#   git checkout main            && scripts/bench.sh > /tmp/old.txt
+#   git checkout my-perf-branch  && scripts/bench.sh > /tmp/new.txt
+#   benchstat /tmp/old.txt /tmp/new.txt
+#
+# Environment knobs:
+#   BENCH  regex of benchmarks to run (default: engine + build suite)
+#   COUNT  repetitions per benchmark for benchstat significance (default 10)
+#   TIME   -benchtime per repetition (default 0.5s)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-Classify|Build|Compile}"
+COUNT="${COUNT:-10}"
+TIME="${TIME:-0.5s}"
+
+exec go test -run='^$' -bench="$BENCH" -benchmem -count="$COUNT" \
+  -benchtime="$TIME" ./internal/engine/
