@@ -30,6 +30,7 @@ func main() {
 		ablation    = flag.Bool("ablation", false, "also print the design-decision ablations")
 		sensitivity = flag.Bool("sensitivity", false, "also print the seed-sensitivity study")
 		engineTbl   = flag.Bool("engine", false, "also print host flat-engine throughput (not a paper table)")
+		churn       = flag.Bool("churn", false, "also print classification throughput under sustained rule updates (not a paper table)")
 	)
 	flag.Parse()
 
@@ -42,13 +43,13 @@ func main() {
 		}
 	}
 
-	if err := run(*table, *ablation, *sensitivity, *engineTbl, opts); err != nil {
+	if err := run(*table, *ablation, *sensitivity, *engineTbl, *churn, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pctables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, ablation, sensitivity, engineTbl bool, opts bench.Options) error {
+func run(table int, ablation, sensitivity, engineTbl, churn bool, opts bench.Options) error {
 	needACL := table == 0 || table == 2 || table == 3 || table == 6 || table == 7 || table == 8
 	var rows []bench.ACL1Row
 	var err error
@@ -97,6 +98,14 @@ func run(table int, ablation, sensitivity, engineTbl bool, opts bench.Options) e
 			return err
 		}
 		fmt.Println(bench.EngineTable(rows).Format())
+	}
+	if churn {
+		fmt.Fprintln(os.Stderr, "measuring classification under update churn...")
+		rows, err := bench.RunUpdateChurn(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.ChurnTable(rows).Format())
 	}
 	if sensitivity {
 		fmt.Fprintln(os.Stderr, "running seed-sensitivity study...")

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rule"
+)
+
+// Update-churn measurement: the paper's §4 live-update story quantified.
+// A classify loop runs on the lock-free snapshot handle while the
+// control plane sustains Insert/Delete churn through the delta/Patch
+// pipeline; the row reports the throughput kept during churn, the cost
+// of one patched update, and — for contrast — what every update used to
+// cost when it forced a full recompile. Before any number is reported
+// the patched engine is cross-checked packet-exact against a fresh
+// recompile (engine.VerifyPatched).
+
+// ChurnRow is one sustained-update measurement.
+type ChurnRow struct {
+	N    int
+	Algo string
+
+	// QuiescentPPS is single-core engine throughput with no updates.
+	QuiescentPPS float64
+	// ChurnPPS is the same loop's throughput while the updater runs.
+	ChurnPPS float64
+	// Updates is the number of Insert/Delete operations applied.
+	Updates int
+	// UpdatesPerSec is the sustained control-plane rate during churn.
+	UpdatesPerSec float64
+	// PatchMicros is the mean cost of one update end to end (tree delta
+	// + engine patch + epoch swap), in microseconds.
+	PatchMicros float64
+	// RecompileMS is the measured cost of one full engine.Compile of
+	// the post-churn tree — what every single update would have paid on
+	// the old recompile-per-update path.
+	RecompileMS float64
+}
+
+// RunUpdateChurn measures classification throughput under sustained
+// rule updates for every ruleset size in opts, for both algorithms.
+func RunUpdateChurn(opts Options) ([]ChurnRow, error) {
+	opts.sanitize()
+	var rows []ChurnRow
+	for _, n := range opts.Sizes {
+		rs := classbench.Generate(classbench.ACL1(), n, opts.Seed)
+		trace := classbench.GenerateTrace(rs, opts.TracePackets, opts.Seed+1)
+		inserts := n / 2
+		if inserts > 400 {
+			inserts = 400
+		}
+		if inserts < 20 {
+			inserts = 20
+		}
+		pool := classbench.Generate(classbench.FW1(), inserts, opts.Seed+2)
+		for _, algo := range []core.Algorithm{core.HiCuts, core.HyperCuts} {
+			row, err := runChurn(rs, pool, trace, algo)
+			if err != nil {
+				return nil, fmt.Errorf("churn %v n=%d: %w", algo, n, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func runChurn(rs rule.RuleSet, pool rule.RuleSet, trace []rule.Packet, algo core.Algorithm) (ChurnRow, error) {
+	row := ChurnRow{N: len(rs), Algo: algo.String()}
+	tree, err := core.Build(rs, core.DefaultConfig(algo))
+	if err != nil {
+		return row, err
+	}
+	h := engine.NewHandle(engine.Compile(tree))
+	out := make([]int32, len(trace))
+
+	row.QuiescentPPS = MeasurePPS(trace, func(t []rule.Packet) {
+		h.Current().Engine().ClassifyBatch(t, out)
+	})
+
+	// Churn: one updater paces the pool (insert, and delete every third
+	// inserted rule) evenly across a fixed window — the "N inserts/sec"
+	// of a control plane serving live traffic — while the classify loop
+	// keeps running on snapshot captures. done is closed by the updater;
+	// the reader counts packets until then.
+	const churnWindow = 120 * time.Millisecond
+	planned := len(pool) + len(pool)/3
+	interval := churnWindow / time.Duration(planned)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var classified int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			h.Current().Engine().ClassifyBatch(trace, out)
+			classified += int64(len(trace))
+		}
+	}()
+	start := time.Now()
+	next := start
+	updates := 0
+	var busy time.Duration
+	var updErr error
+	for i := range pool {
+		r := pool[i]
+		r.ID = tree.NumRules()
+		t0 := time.Now()
+		d, err := tree.InsertDelta(r)
+		if err == nil {
+			_, err = h.Apply(d)
+		}
+		busy += time.Since(t0)
+		if err != nil {
+			updErr = err
+			break
+		}
+		updates++
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		if i%3 == 2 {
+			t0 = time.Now()
+			d, err := tree.DeleteDelta(len(rs) + i - 2)
+			if err == nil {
+				_, err = h.Apply(d)
+			}
+			busy += time.Since(t0)
+			if err != nil {
+				updErr = err
+				break
+			}
+			updates++
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	churnDur := time.Since(start)
+	close(done)
+	wg.Wait()
+	if updErr != nil {
+		return row, updErr
+	}
+	row.Updates = updates
+	row.UpdatesPerSec = float64(updates) / churnDur.Seconds()
+	row.PatchMicros = float64(busy.Microseconds()) / float64(updates)
+	row.ChurnPPS = float64(classified) / churnDur.Seconds()
+
+	// What one update used to cost: a full recompile of the tree.
+	start = time.Now()
+	fresh := engine.Compile(tree)
+	row.RecompileMS = float64(time.Since(start).Microseconds()) / 1e3
+
+	// No number leaves this function unverified: the patched image must
+	// equal the fresh recompile packet-exact.
+	if err := engine.VerifyPatched(trace, h.Current().Engine(), fresh); err != nil {
+		return row, err
+	}
+	return row, nil
+}
+
+// ChurnTable renders the sustained-update measurement.
+func ChurnTable(rows []ChurnRow) *Table {
+	t := &Table{
+		Title: "Classification under update churn (patched epochs vs recompile-per-update)",
+		Header: []string{"Rules", "Algorithm", "Quiescent pps", "Churn pps",
+			"Updates", "Updates/s", "Patch us", "Recompile ms"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			itoa(r.N), r.Algo,
+			f0(r.QuiescentPPS), f0(r.ChurnPPS),
+			itoa(r.Updates), f0(r.UpdatesPerSec),
+			fmt.Sprintf("%.1f", r.PatchMicros),
+			fmt.Sprintf("%.2f", r.RecompileMS),
+		})
+	}
+	return t
+}

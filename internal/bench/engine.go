@@ -8,6 +8,8 @@ import (
 	"repro/internal/classbench"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/hicuts"
+	"repro/internal/hypercuts"
 	"repro/internal/rule"
 )
 
@@ -19,13 +21,18 @@ import (
 // benchstat-grade comparisons.
 
 // EngineRow is one host measurement: pointer-walking tree vs flat engine
-// (single core and sharded), plus sequential vs pooled build time.
+// (single core and sharded), plus sequential vs pooled build time. Rows
+// exist for the modified hardware-oriented trees (via engine.Compile)
+// and for the unmodified software baselines (via engine.CompileHiCuts /
+// CompileHyperCuts), so the comparison is all-flat: every classifier
+// walks contiguous arrays, and the remaining differences are algorithmic.
 type EngineRow struct {
 	N    int
 	Algo string
 
 	// BuildSeqMS/BuildParMS are core.Build wall times with Workers=1 and
-	// Workers=GOMAXPROCS.
+	// Workers=GOMAXPROCS. Baseline builds are sequential only
+	// (BuildParMS is 0 and rendered "-").
 	BuildSeqMS, BuildParMS float64
 
 	// TreePPS is core.Tree.Classify packets/sec (the pre-engine path).
@@ -67,31 +74,85 @@ func RunEngine(opts Options) ([]EngineRow, error) {
 			}
 			row.BuildParMS = float64(time.Since(start).Microseconds()) / 1e3
 
-			eng := engine.Compile(parTree)
-			for i, p := range trace {
-				if got, want := eng.Classify(p), tree.Classify(p); got != want {
-					return nil, fmt.Errorf("engine bench %v n=%d: packet %d: engine=%d tree=%d",
-						algo, n, i, got, want)
-				}
+			if err := measureFlat(&row, tree.Classify, engine.Compile(parTree), trace); err != nil {
+				return nil, err
 			}
-
-			out := make([]int32, len(trace))
-			row.TreePPS = MeasurePPS(trace, func(t []rule.Packet) {
-				for i := range t {
-					out[i] = int32(tree.Classify(t[i]))
-				}
-			})
-			row.EnginePPS = MeasurePPS(trace, func(t []rule.Packet) {
-				eng.ClassifyBatch(t, out)
-			})
-			row.ParallelPPS = MeasurePPS(trace, func(t []rule.Packet) {
-				eng.ParallelClassify(t, out, 0)
-			})
-			row.SpeedupX = row.EnginePPS / row.TreePPS
 			rows = append(rows, row)
 		}
+		base, err := runBaselineRows(n, rs, trace, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, base...)
 	}
 	return rows, nil
+}
+
+// runBaselineRows measures the unmodified software baselines through
+// their flat renderings (the all-flat comparison the ROADMAP asks for).
+// Each flat engine is differentially checked against its pointer tree on
+// the measurement trace before timing.
+func runBaselineRows(n int, rs rule.RuleSet, trace []rule.Packet, opts Options) ([]EngineRow, error) {
+	var rows []EngineRow
+
+	start := time.Now()
+	hct, err := hicuts.Build(rs, hicuts.Config{Binth: opts.Binth, Spfac: opts.Spfac})
+	if err != nil {
+		return nil, fmt.Errorf("engine bench hicuts n=%d: %w", n, err)
+	}
+	hcBuild := float64(time.Since(start).Microseconds()) / 1e3
+	row := EngineRow{N: n, Algo: "HiCuts (sw)", BuildSeqMS: hcBuild}
+	if err := measureFlat(&row, hct.Classify, engine.CompileHiCuts(hct), trace); err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+
+	start = time.Now()
+	yct, err := hypercuts.Build(rs, hypercuts.Config{Binth: opts.Binth, Spfac: opts.Spfac})
+	if err != nil {
+		return nil, fmt.Errorf("engine bench hypercuts n=%d: %w", n, err)
+	}
+	ycBuild := float64(time.Since(start).Microseconds()) / 1e3
+	row = EngineRow{N: n, Algo: "HyperCuts (sw)", BuildSeqMS: ycBuild}
+	if err := measureFlat(&row, yct.Classify, engine.CompileHyperCuts(yct), trace); err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+	return rows, nil
+}
+
+// flatClassifier is the measurement surface shared by engine.Engine and
+// engine.RangeEngine.
+type flatClassifier interface {
+	Classify(rule.Packet) int
+	ClassifyBatch([]rule.Packet, []int32)
+	ParallelClassify([]rule.Packet, []int32, int)
+}
+
+// measureFlat fills row's throughput columns: a packet-exact
+// differential check of the flat engine against the pointer tree, then
+// the tree / single-core / sharded rates. One protocol for the modified
+// trees and the baselines, so the table's rows are always comparable.
+func measureFlat(row *EngineRow, treeClassify func(rule.Packet) int, flat flatClassifier, trace []rule.Packet) error {
+	for i, p := range trace {
+		if got, want := flat.Classify(p), treeClassify(p); got != want {
+			return fmt.Errorf("engine bench %s n=%d: packet %d: flat=%d tree=%d", row.Algo, row.N, i, got, want)
+		}
+	}
+	out := make([]int32, len(trace))
+	row.TreePPS = MeasurePPS(trace, func(t []rule.Packet) {
+		for i := range t {
+			out[i] = int32(treeClassify(t[i]))
+		}
+	})
+	row.EnginePPS = MeasurePPS(trace, func(t []rule.Packet) {
+		flat.ClassifyBatch(t, out)
+	})
+	row.ParallelPPS = MeasurePPS(trace, func(t []rule.Packet) {
+		flat.ParallelClassify(t, out, 0)
+	})
+	row.SpeedupX = row.EnginePPS / row.TreePPS
+	return nil
 }
 
 // MeasurePPS repeats classify over the trace until enough wall time has
@@ -115,9 +176,13 @@ func EngineTable(rows []EngineRow) *Table {
 		Header: []string{"Rules", "Algorithm", "BuildSeq ms", "BuildPar ms", "Tree pps", "Engine pps", "Parallel pps", "Speedup"},
 	}
 	for _, r := range rows {
+		buildPar := "-"
+		if r.BuildParMS > 0 {
+			buildPar = fmt.Sprintf("%.1f", r.BuildParMS)
+		}
 		t.Rows = append(t.Rows, []string{
 			itoa(r.N), r.Algo,
-			fmt.Sprintf("%.1f", r.BuildSeqMS), fmt.Sprintf("%.1f", r.BuildParMS),
+			fmt.Sprintf("%.1f", r.BuildSeqMS), buildPar,
 			f0(r.TreePPS), f0(r.EnginePPS), f0(r.ParallelPPS),
 			fmt.Sprintf("%.2fx", r.SpeedupX),
 		})

@@ -233,6 +233,16 @@ type Tree struct {
 	words     int     // memory words used (including word 0 = root)
 	leafOrder []*Node // distinct leaves in layout order
 	internals []*Node // internal nodes in layout order (root first)
+
+	// Leaf identity bookkeeping for the incremental-update delta path:
+	// leafIndex maps a leaf to its stable position in leafOrder (the
+	// compiled image's leaf table); leafRefs counts the child slots
+	// referencing each leaf, so copy-on-write unsharing knows when an
+	// original becomes orphaned. Rebuilt by layout(), maintained by
+	// InsertDelta/DeleteDelta.
+	leafIndex map[*Node]int
+	leafRefs  map[*Node]int
+	orphans   int // leafOrder entries with zero references
 }
 
 // Config returns the build configuration.

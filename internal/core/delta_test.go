@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/rule"
+)
+
+// TestInsertDeltaBookkeeping pins the delta protocol's invariants on a
+// wildcard insert (which touches every leaf): new-leaf indices extend
+// the leaf table contiguously, every kid edit points at a valid leaf
+// index and an unchanged internal word, singly-referenced leaves are
+// edited in place rather than orphaned, and the orphan counter matches
+// the delta's Orphaned list.
+func TestInsertDeltaBookkeeping(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 250, 131)
+	tr, err := Build(rs, DefaultConfig(HiCuts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leavesBefore := len(tr.Leaves())
+	wordsBefore := len(tr.Internals())
+
+	wild := rule.New(len(rs), 0, 0, 0, 0,
+		rule.FullRange(rule.DimSrcPort), rule.FullRange(rule.DimDstPort), 0, true)
+	d, err := tr.InsertDelta(wild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.RuleAppended || d.AppendedRule.ID != len(rs) || d.DisabledRule != -1 {
+		t.Fatalf("insert delta header wrong: %+v", d)
+	}
+	if len(tr.Internals()) != wordsBefore {
+		t.Fatalf("insert changed the internal-word count: %d -> %d", wordsBefore, len(tr.Internals()))
+	}
+	next := leavesBefore
+	inPlace := 0
+	for _, le := range d.LeafEdits {
+		if le.New {
+			if le.Index != next {
+				t.Fatalf("new leaf index %d, want contiguous %d", le.Index, next)
+			}
+			next++
+		} else {
+			if le.Index < 0 || le.Index >= leavesBefore {
+				t.Fatalf("in-place edit of unknown leaf %d", le.Index)
+			}
+			inPlace++
+		}
+		if le.Rules[len(le.Rules)-1] != int32(len(rs)) {
+			t.Fatalf("edited leaf %d does not end with the inserted rule", le.Index)
+		}
+	}
+	if next != len(tr.Leaves()) {
+		t.Fatalf("leaf table grew to %d but delta accounts for %d", len(tr.Leaves()), next)
+	}
+	if inPlace == 0 {
+		t.Error("no singly-referenced leaf was edited in place (all were orphan-producing copies)")
+	}
+	for _, ke := range d.KidEdits {
+		if ke.Word < 0 || ke.Word >= wordsBefore {
+			t.Fatalf("kid edit in unknown word %d", ke.Word)
+		}
+		if ke.Leaf < 0 || ke.Leaf >= next {
+			t.Fatalf("kid edit points at unknown leaf %d", ke.Leaf)
+		}
+	}
+	if tr.Orphans() != len(d.Orphaned) {
+		t.Fatalf("tree counts %d orphans, delta lists %d", tr.Orphans(), len(d.Orphaned))
+	}
+	// A wildcard spans every slot of every node, so each leaf shared
+	// within one node is fully unshared there and must orphan.
+	if len(d.Orphaned) == 0 {
+		t.Error("wildcard insert orphaned no shared leaves")
+	}
+
+	// A full relayout compacts the orphans away and resets the counter.
+	tr.Relayout()
+	if tr.Orphans() != 0 {
+		t.Fatalf("%d orphans survived Relayout", tr.Orphans())
+	}
+	if got := tr.Classify(rule.Packet{SrcIP: 0xFEFEFEFE, DstIP: 0x01010101,
+		SrcPort: 60123, DstPort: 60321, Proto: 201}); got != len(rs) && rs.Match(rule.Packet{
+		SrcIP: 0xFEFEFEFE, DstIP: 0x01010101, SrcPort: 60123, DstPort: 60321, Proto: 201}) == -1 {
+		t.Errorf("wildcard lost after relayout: got %d", got)
+	}
+}
+
+// TestDeleteDeltaBookkeeping pins the delete side: only leaves holding
+// the rule are edited, edits are in place (no leaf-table growth, no kid
+// edits), and the disabled rule vanishes from every listed edit.
+func TestDeleteDeltaBookkeeping(t *testing.T) {
+	rs := classbench.Generate(classbench.FW1(), 200, 132)
+	tr, err := Build(rs, DefaultConfig(HyperCuts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leavesBefore := len(tr.Leaves())
+	d, err := tr.DeleteDelta(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RuleAppended || d.DisabledRule != 7 {
+		t.Fatalf("delete delta header wrong: %+v", d)
+	}
+	if len(d.KidEdits) != 0 {
+		t.Fatalf("delete emitted %d kid edits", len(d.KidEdits))
+	}
+	if len(tr.Leaves()) != leavesBefore {
+		t.Fatalf("delete grew the leaf table: %d -> %d", leavesBefore, len(tr.Leaves()))
+	}
+	for _, le := range d.LeafEdits {
+		if le.New {
+			t.Fatalf("delete marked leaf %d as new", le.Index)
+		}
+		for _, id := range le.Rules {
+			if id == 7 {
+				t.Fatalf("leaf %d still lists the deleted rule", le.Index)
+			}
+		}
+	}
+}

@@ -2,18 +2,23 @@ package core
 
 import "repro/internal/rule"
 
-// layout rearranges nodes into accelerator memory: all internal nodes
-// first (breadth-first, root in word 0), then leaf storage packed
-// according to the speed parameter (paper §3).
+// layout is the full-relayout path: it rearranges nodes into accelerator
+// memory — all internal nodes first (breadth-first, root in word 0), then
+// leaf storage packed according to the speed parameter (paper §3) — and
+// rebuilds the leaf identity maps incremental updates maintain. The
+// delta-apply path (Tree.applyDelta) refreshes only the leaf packing.
 func (t *Tree) layout() error { // error kept for future packing policies
 	t.internals = t.internals[:0]
 	t.leafOrder = t.leafOrder[:0]
 
 	// Breadth-first over internal nodes; collect distinct leaves in
 	// first-encounter order. Distinctness is by pointer: the builder
-	// already merged identical leaves.
+	// already merged identical leaves. Leaf reference counts drive the
+	// copy-on-write orphan tracking of Insert/Delete.
+	t.leafIndex = map[*Node]int{}
+	t.leafRefs = map[*Node]int{}
+	t.orphans = 0
 	seenI := map[*Node]bool{}
-	seenL := map[*Node]bool{}
 	queue := []*Node{t.Root}
 	seenI[t.Root] = true
 	for len(queue) > 0 {
@@ -27,10 +32,11 @@ func (t *Tree) layout() error { // error kept for future packing policies
 				continue
 			}
 			if c.Leaf {
-				if !seenL[c] {
-					seenL[c] = true
+				if _, ok := t.leafIndex[c]; !ok {
+					t.leafIndex[c] = len(t.leafOrder)
 					t.leafOrder = append(t.leafOrder, c)
 				}
+				t.leafRefs[c]++
 				continue
 			}
 			if !seenI[c] {
@@ -39,11 +45,21 @@ func (t *Tree) layout() error { // error kept for future packing policies
 			}
 		}
 	}
+	t.packLeaves()
+	return nil
+}
 
-	// Pack leaves after the internal words. With the LeafPointers
-	// ablation, leaves hold 20-bit rule pointers (240 per word) instead
-	// of full 160-bit rules, and a rule table (30 rules per word) is
-	// appended after the leaves.
+// packLeaves assigns Word/Pos to every leaf-table entry and recomputes
+// the word count. It is shared by the full relayout and the per-update
+// delta-apply path: leaf lists grow and shrink under incremental updates,
+// so their packing must be refreshed, but internal words never move.
+// Orphaned leaves still occupy storage here (their indices must stay
+// stable for delta replay); Relayout compacts them away.
+//
+// With the LeafPointers ablation, leaves hold 20-bit rule pointers (240
+// per word) instead of full 160-bit rules, and a rule table (30 rules per
+// word) is appended after the leaves.
+func (t *Tree) packLeaves() {
 	slots := RulesPerWord
 	if t.cfg.LeafPointers {
 		slots = PointerSlotsPerWord
@@ -79,7 +95,6 @@ func (t *Tree) layout() error { // error kept for future packing policies
 	// useful analytically (paper Table 4 reports sizes well beyond the
 	// 1024-word device); Encode enforces addressability when an actual
 	// memory image is requested.
-	return nil
 }
 
 // Internals returns the internal nodes in layout order (root first).

@@ -13,38 +13,52 @@ import (
 //
 // The control-plane model implemented here mirrors that description: the
 // logical tree is the off-chip copy; Insert and Delete modify the leaves
-// the rule overlaps without re-cutting, then a fresh memory image is laid
-// out and re-encoded for the accelerator. Tree quality can degrade after
-// many updates (leaves grow past Binth), so Degradation reports how far
-// the structure has drifted and callers rebuild when it exceeds their
-// threshold.
+// the rule overlaps without re-cutting, and the change is captured as a
+// structured Delta (leaf edits + child-slot repointings) that loaded
+// images replay via engine.Patch instead of recompiling. Only the leaf
+// packing is refreshed per update (applyDelta); internal-node words never
+// move. Tree quality can degrade after many updates (leaves grow past
+// Binth, unshared leaves orphan their originals), so Degradation reports
+// how far the structure has drifted and callers trigger Relayout plus a
+// full recompile when it exceeds their threshold.
 
-// Insert adds r to the tree. The rule's ID must extend the current
-// ruleset (len(rules)) — rule priority is its position, so arbitrary
-// priority insertion requires a rebuild.
+// Insert adds r to the tree. It is InsertDelta with the delta discarded —
+// callers that maintain a compiled image want InsertDelta.
 func (t *Tree) Insert(r rule.Rule) error {
+	_, err := t.InsertDelta(r)
+	return err
+}
+
+// InsertDelta adds r to the tree and returns the structured delta the
+// update makes to the laid-out image. The rule's ID must extend the
+// current ruleset (len(rules)) — rule priority is its position, so
+// arbitrary priority insertion requires a rebuild.
+func (t *Tree) InsertDelta(r rule.Rule) (*Delta, error) {
 	if r.ID != len(t.rules) {
-		return fmt.Errorf("core: incremental insert requires ID %d (lowest priority), got %d", len(t.rules), r.ID)
+		return nil, fmt.Errorf("core: incremental insert requires ID %d (lowest priority), got %d", len(t.rules), r.ID)
 	}
 	for d := 0; d < rule.NumDims; d++ {
 		f := r.F[d]
 		if f.Lo > f.Hi || f.Hi > rule.MaxValue(d) {
-			return fmt.Errorf("core: invalid range in %s", rule.DimNames[d])
+			return nil, fmt.Errorf("core: invalid range in %s", rule.DimNames[d])
 		}
 	}
 	t.rules = append(t.rules, r)
-	t.insertInto(t.Root, &t.rules[len(t.rules)-1], [rule.NumDims]int{}, [rule.NumDims]uint32{})
-	return t.layout()
+	d := &Delta{RuleAppended: true, AppendedRule: r, DisabledRule: -1}
+	t.insertInto(t.Root, &t.rules[len(t.rules)-1], [rule.NumDims]int{}, [rule.NumDims]uint32{}, d)
+	t.applyDelta()
+	return d, nil
 }
 
 // insertInto adds the rule to every leaf whose region it overlaps,
-// following the same child-span arithmetic the builder uses.
-func (t *Tree) insertInto(n *Node, r *rule.Rule, prefixLen [rule.NumDims]int, prefixVal [rule.NumDims]uint32) {
+// following the same child-span arithmetic the builder uses, recording
+// every leaf replacement in d.
+func (t *Tree) insertInto(n *Node, r *rule.Rule, prefixLen [rule.NumDims]int, prefixVal [rule.NumDims]uint32, d *Delta) {
 	if n.Leaf {
-		// Shared leaves (identical rule lists, including the shared
-		// empty leaf) must be unshared before mutation; layout() will
-		// handle the storage. Copy-on-write via a private marker slice.
+		// Only reachable for a leaf root, which ensureInternalRoot
+		// prevents; kept as a defensive in-place edit.
 		n.Rules = append(n.Rules[:len(n.Rules):len(n.Rules)], int32(r.ID))
+		d.LeafEdits = append(d.LeafEdits, LeafEdit{Index: t.leafIndex[n], Rules: n.Rules})
 		return
 	}
 	// Compute the child index span of the rule for this node's cut.
@@ -56,18 +70,18 @@ func (t *Tree) insertInto(n *Node, r *rule.Rule, prefixLen [rule.NumDims]int, pr
 		s += n.Cuts[i].Bits
 	}
 	for i, c := range n.Cuts {
-		d := c.Dim
-		avail := 8 - prefixLen[d]
-		w := rule.DimBits[d]
+		dim := c.Dim
+		avail := 8 - prefixLen[dim]
+		w := rule.DimBits[dim]
 		var regionLo, regionHi uint32
-		if prefixLen[d] == 0 {
-			regionLo, regionHi = 0, rule.MaxValue(d)
+		if prefixLen[dim] == 0 {
+			regionLo, regionHi = 0, rule.MaxValue(dim)
 		} else {
-			shift := w - uint(prefixLen[d])
-			regionLo = prefixVal[d] << shift
+			shift := w - uint(prefixLen[dim])
+			regionLo = prefixVal[dim] << shift
 			regionHi = regionLo | (uint32(1)<<shift - 1)
 		}
-		lo, hi := r.F[d].Lo, r.F[d].Hi
+		lo, hi := r.F[dim].Lo, r.F[dim].Hi
 		if hi < regionLo || lo > regionHi {
 			return // rule does not touch this subtree
 		}
@@ -87,6 +101,9 @@ func (t *Tree) insertInto(n *Node, r *rule.Rule, prefixLen [rule.NumDims]int, pr
 	// mutated leaf is first unshared via copy-on-write; every overlapped
 	// slot that pointed at the same old leaf gets the same fresh copy,
 	// while slots outside the rule's span correctly keep the old one.
+	// Each unsharing appends a leaf-table entry (LeafEdit{New}) and each
+	// repointed slot becomes a KidEdit, so a compiled image can replay
+	// the exact same copy-on-write.
 	freshened := map[*Node]*Node{}
 	visited := map[*Node]bool{}
 	idx := make([]int, len(spans))
@@ -96,13 +113,38 @@ func (t *Tree) insertInto(n *Node, r *rule.Rule, prefixLen [rule.NumDims]int, pr
 			return
 		}
 		if c.Leaf {
-			fresh, ok := freshened[c]
-			if !ok {
+			fresh, unsharing := freshened[c]
+			if !unsharing && t.leafRefs[c] == 1 {
+				// This slot is the leaf's only reference, so no
+				// unsharing is needed: rewrite it in place (a non-New
+				// LeafEdit, the same image edit a Delete emits) instead
+				// of orphaning the original and growing the leaf table.
+				c.Rules = append(c.Rules[:len(c.Rules):len(c.Rules)], int32(r.ID))
+				d.LeafEdits = append(d.LeafEdits, LeafEdit{Index: t.leafIndex[c], Rules: c.Rules})
+				return
+			}
+			// Shared leaf: unshare via copy-on-write. Every spanned slot
+			// of this node repoints at one fresh copy — including the
+			// last reference (the freshened-map hit takes priority over
+			// the in-place path above), so dedup within the span is
+			// preserved and a fully-covered leaf is orphaned.
+			if !unsharing {
 				fresh = &Node{Leaf: true, Rules: append([]int32(nil), c.Rules...)}
 				fresh.Rules = append(fresh.Rules, int32(r.ID))
 				freshened[c] = fresh
+				fi := len(t.leafOrder)
+				t.leafOrder = append(t.leafOrder, fresh)
+				t.leafIndex[fresh] = fi
+				d.LeafEdits = append(d.LeafEdits, LeafEdit{Index: fi, New: true, Rules: fresh.Rules})
 			}
 			n.Children[child] = fresh
+			t.leafRefs[fresh]++
+			t.leafRefs[c]--
+			if t.leafRefs[c] == 0 {
+				t.orphans++
+				d.Orphaned = append(d.Orphaned, t.leafIndex[c])
+			}
+			d.KidEdits = append(d.KidEdits, KidEdit{Word: n.Word, Slot: child, Leaf: t.leafIndex[fresh]})
 			return
 		}
 		if visited[c] {
@@ -116,57 +158,95 @@ func (t *Tree) insertInto(n *Node, r *rule.Rule, prefixLen [rule.NumDims]int, pr
 			childVal[cut.Dim] = childVal[cut.Dim]<<uint(cut.Bits) | uint32(comp)
 			childLen[cut.Dim] += cut.Bits
 		}
-		t.insertInto(c, r, childLen, childVal)
+		t.insertInto(c, r, childLen, childVal, d)
 	})
 }
 
-// Delete removes the rule with the given ID from every leaf. The rule
-// stays in the ruleset slice (IDs are positional) but is disabled; its
-// slots are reclaimed at the next layout.
+// Delete removes the rule with the given ID. It is DeleteDelta with the
+// delta discarded.
 func (t *Tree) Delete(id int) error {
+	_, err := t.DeleteDelta(id)
+	return err
+}
+
+// DeleteDelta removes the rule with the given ID from every live leaf and
+// returns the structured delta. The rule stays in the ruleset slice (IDs
+// are positional) but is disabled; its slots are reclaimed at the next
+// full relayout.
+func (t *Tree) DeleteDelta(id int) (*Delta, error) {
 	if id < 0 || id >= len(t.rules) {
-		return fmt.Errorf("core: no rule %d", id)
+		return nil, fmt.Errorf("core: no rule %d", id)
 	}
-	var walk func(n *Node)
-	seen := map[*Node]bool{}
-	walk = func(n *Node) {
-		if n == nil || seen[n] {
-			return
+	d := &Delta{DisabledRule: id}
+	for i, l := range t.leafOrder {
+		if t.leafRefs[l] == 0 {
+			continue // orphan: unreachable, compacted at next relayout
 		}
-		seen[n] = true
-		if n.Leaf {
-			out := n.Rules[:0:0]
-			for _, rid := range n.Rules {
-				if rid != int32(id) {
-					out = append(out, rid)
-				}
+		found := false
+		for _, rid := range l.Rules {
+			if rid == int32(id) {
+				found = true
+				break
 			}
-			n.Rules = out
-			return
 		}
-		for _, c := range n.Children {
-			walk(c)
+		if !found {
+			continue
 		}
+		out := l.Rules[:0:0]
+		for _, rid := range l.Rules {
+			if rid != int32(id) {
+				out = append(out, rid)
+			}
+		}
+		l.Rules = out
+		d.LeafEdits = append(d.LeafEdits, LeafEdit{Index: i, Rules: out})
 	}
-	walk(t.Root)
 	// Disable the rule so Classify/Walk never match it again even if a
 	// stale reference survives.
 	t.rules[id].F[rule.DimProto] = rule.Range{Lo: 1, Hi: 0} // empty range matches nothing
-	return t.layout()
+	t.applyDelta()
+	return d, nil
 }
 
+// applyDelta is the delta-apply half of the layout split: internal nodes
+// never move under incremental updates, so only the leaf packing (Word/
+// Pos assignment and the word count) is refreshed. Orphaned leaves keep
+// their storage until Relayout compacts them, so leaf-table indices stay
+// stable for images replaying deltas.
+func (t *Tree) applyDelta() {
+	t.packLeaves()
+}
+
+// Relayout runs the full layout pass: breadth-first renumbering of
+// internal words, rediscovery of live leaves (dropping orphans) and a
+// fresh leaf packing. It invalidates all outstanding deltas — images must
+// be recompiled, not patched, across a Relayout. Callers use it when
+// Degradation crosses their rebuild threshold.
+func (t *Tree) Relayout() {
+	// layout's error return is reserved for future packing policies and
+	// is always nil today.
+	_ = t.layout()
+}
+
+// Orphans returns the number of leaves that lost their last reference to
+// incremental updates and await compaction by Relayout.
+func (t *Tree) Orphans() int { return t.orphans }
+
 // Degradation reports how far incremental updates have pushed the tree
-// from its built quality: the fraction of leaves now holding more than
-// Binth rules. Rebuild when this exceeds the operator's threshold.
+// from its built quality: the fraction of leaf-table entries that are
+// either overgrown (live leaves holding more than Binth rules — their
+// scans exceed the built worst case) or orphaned (unshared originals
+// still occupying device words). Rebuild (Relayout + recompile) when this
+// exceeds the operator's threshold.
 func (t *Tree) Degradation() float64 {
 	if len(t.leafOrder) == 0 {
 		return 0
 	}
 	over := 0
 	for _, l := range t.leafOrder {
-		if len(l.Rules) > t.cfg.Binth {
+		if t.leafRefs[l] > 0 && len(l.Rules) > t.cfg.Binth {
 			over++
 		}
 	}
-	return float64(over) / float64(len(t.leafOrder))
+	return float64(over+t.orphans) / float64(len(t.leafOrder))
 }

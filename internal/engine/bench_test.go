@@ -116,3 +116,50 @@ func BenchmarkEngineCompile(b *testing.B) {
 		Compile(tree)
 	}
 }
+
+// BenchmarkPatchUpdate measures the live-update pipeline end to end: one
+// Insert delta + engine Patch + epoch publish, immediately followed by
+// the matching Delete (so the working set stays bounded). Compare with
+// BenchmarkEngineCompile — the cost every update paid before deltas.
+func BenchmarkPatchUpdate(b *testing.B) {
+	rs := classbench.Generate(classbench.ACL1(), 2000, 2008)
+	pool := classbench.Generate(classbench.FW1(), 2048, 2010)
+	var tree *core.Tree
+	var h *Handle
+	rebuild := func() {
+		var err error
+		tree, err = core.Build(rs, core.DefaultConfig(core.HyperCuts))
+		if err != nil {
+			b.Fatal(err)
+		}
+		h = NewHandle(Compile(tree))
+	}
+	rebuild()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2048 == 0 && i > 0 {
+			// The ruleset slice grows monotonically (IDs are
+			// positional); periodically rebuild outside the timer.
+			b.StopTimer()
+			rebuild()
+			b.StartTimer()
+		}
+		r := pool[i%len(pool)]
+		r.ID = tree.NumRules()
+		d, err := tree.InsertDelta(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Apply(d); err != nil {
+			b.Fatal(err)
+		}
+		d, err = tree.DeleteDelta(r.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Apply(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

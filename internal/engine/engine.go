@@ -30,8 +30,14 @@
 // ClassifyBatch perform zero allocations per packet; ParallelClassify
 // shards a batch across cores for multi-Gbps software throughput.
 //
-// The engine is an immutable snapshot: after core.Tree.Insert/Delete,
-// recompile with Compile (incremental engine rebuild is a ROADMAP item).
+// Each Engine value is an immutable snapshot. Live updates do not mutate
+// it: core.Tree.InsertDelta/DeleteDelta produce structured deltas that
+// Patch replays into the next snapshot, sharing unchanged pool segments
+// copy-on-write (see patch.go). Handle (handle.go) publishes the chain of
+// snapshots through an epoch-versioned atomic pointer, so readers
+// classify lock-free against a consistent image while a single updater
+// swaps in the next epoch, and GarbageRatio tells the control plane when
+// to fold the accumulated patch garbage into a fresh Compile.
 package engine
 
 import (
@@ -51,11 +57,15 @@ type cut struct {
 }
 
 // node is one internal node: a view into the shared cuts pool and the
-// offset of its child-reference block in the kids pool.
+// offset and length of its child-reference block in the kids pool. The
+// explicit length lets Patch relocate a single node's block to the end of
+// the kids arena (copy-on-write at block granularity) without touching
+// its neighbours.
 type node struct {
 	cutOff int32
 	cutLen int32
 	kidOff int32
+	kidLen int32
 }
 
 // leafRef locates one deduplicated leaf's rule IDs in the shared pool.
@@ -74,6 +84,14 @@ type flatRule struct {
 
 // Engine is a flat, immutable, pointer-free classification engine. All
 // methods are safe for concurrent use.
+//
+// An Engine value is one epoch's snapshot of the image: readers holding
+// it classify against a consistent structure forever. After a
+// core.Tree.InsertDelta/DeleteDelta, Patch derives the next epoch's
+// snapshot by copy-on-write — unchanged pool segments are shared between
+// epochs, abandoned segments are counted as garbage until a full Compile
+// replaces the chain (see GarbageRatio). Handle wraps the chain in an
+// atomic, epoch-versioned pointer for lock-free readers.
 type Engine struct {
 	nodes   []node
 	cuts    []cut
@@ -81,6 +99,19 @@ type Engine struct {
 	leaves  []leafRef
 	ruleIDs []int32
 	rules   []flatRule
+
+	// sentinel is the leaf-table index of the compile-time empty-leaf
+	// sentinel inserted for nil child slots, or -1. core.Build never
+	// emits nil children, so for patched engines it is always -1; when
+	// present it offsets the core-index → leaf-table translation of
+	// leafSlot.
+	sentinel int32
+
+	// deadRuleSlots / deadKidSlots count pool entries abandoned by
+	// patches (rewritten leaf windows, relocated kid blocks). They feed
+	// GarbageRatio, the recompile trigger.
+	deadRuleSlots int
+	deadKidSlots  int
 }
 
 // Compile flattens a built tree into an Engine. The tree's layout (Word
@@ -93,9 +124,10 @@ func Compile(t *core.Tree) *Engine {
 	rs := t.Rules()
 
 	e := &Engine{
-		nodes:  make([]node, len(internals)),
-		leaves: make([]leafRef, len(leafNodes), len(leafNodes)+1),
-		rules:  make([]flatRule, len(rs)),
+		nodes:    make([]node, len(internals)),
+		leaves:   make([]leafRef, len(leafNodes), len(leafNodes)+1),
+		rules:    make([]flatRule, len(rs)),
+		sentinel: -1,
 	}
 	for i := range rs {
 		for d := 0; d < rule.NumDims; d++ {
@@ -125,6 +157,7 @@ func Compile(t *core.Tree) *Engine {
 			cutOff: int32(len(e.cuts)),
 			cutLen: int32(len(n.Cuts)),
 			kidOff: int32(len(e.kids)),
+			kidLen: int32(len(n.Children)),
 		}
 		for _, c := range n.Cuts {
 			e.cuts = append(e.cuts, cut{dim: uint8(c.Dim), mask: c.Mask, shift: c.Shift})
@@ -136,6 +169,7 @@ func Compile(t *core.Tree) *Engine {
 				if emptyLeaf < 0 {
 					emptyLeaf = int32(len(e.leaves))
 					e.leaves = append(e.leaves, leafRef{})
+					e.sentinel = emptyLeaf
 				}
 				ref = ^emptyLeaf
 			case c.Leaf:
@@ -251,6 +285,6 @@ func (e *Engine) NumRules() int { return len(e.rules) }
 // child, leaf and rule arrays (the software counterpart of
 // core.Tree.MemoryBytes).
 func (e *Engine) MemoryBytes() int {
-	return len(e.nodes)*12 + len(e.cuts)*3 + len(e.kids)*4 +
+	return len(e.nodes)*16 + len(e.cuts)*3 + len(e.kids)*4 +
 		len(e.leaves)*8 + len(e.ruleIDs)*4 + len(e.rules)*40
 }

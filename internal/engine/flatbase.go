@@ -1,0 +1,293 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/hicuts"
+	"repro/internal/hypercuts"
+	"repro/internal/rule"
+)
+
+// Flat compilation of the *unmodified* software baselines, so the
+// pctables -engine comparison is all-flat and fair: the modified
+// hardware-oriented trees run through Engine, the original HiCuts and
+// HyperCuts trees run through RangeEngine, and the remaining speed
+// difference is the algorithms' — not the data layout's.
+//
+// The baselines cannot use Engine's mask/shift/add datapath: their cuts
+// are equal-width slices of arbitrary (possibly region-compacted)
+// ranges, so a child index takes a subtraction and a division per cut
+// dimension — exactly the arithmetic the paper's §3 modifications remove
+// from the hardware. The flat rendering keeps that arithmetic while
+// eliminating pointer chasing: nodes, cut headers, child references,
+// pushed-rule lists, leaf windows and rules live in six contiguous
+// arrays, traversed by int32 index.
+
+// rcut is one cut dimension of a baseline internal node: child index
+// component = clamp((field - lo) / width) * stride, valid while field is
+// inside [lo, hi].
+type rcut struct {
+	dim    uint8
+	lo, hi uint32
+	width  uint64
+	np     int32
+	stride int32
+}
+
+// rnode is one baseline internal node: views into the cuts, kids and
+// pushed pools.
+type rnode struct {
+	cutOff, cutLen   int32
+	kidOff           int32
+	pushOff, pushLen int32
+}
+
+// RangeEngine is a flat, immutable, pointer-free rendering of an
+// original-algorithm decision tree (hicuts.Tree or hypercuts.Tree). All
+// methods are safe for concurrent use; Classify allocates nothing.
+type RangeEngine struct {
+	root    int32 // >= 0: nodes index; < 0: ^leaf index (leaf root)
+	nodes   []rnode
+	cuts    []rcut
+	kids    []int32 // >= 0: nodes index; < 0: ^leaf index
+	pushed  []int32
+	leaves  []leafRef
+	ruleIDs []int32
+	rules   []flatRule
+}
+
+// flatRules converts a ruleset to match form.
+func flatRules(rs rule.RuleSet) []flatRule {
+	out := make([]flatRule, len(rs))
+	for i := range rs {
+		for d := 0; d < rule.NumDims; d++ {
+			out[i].lo[d] = rs[i].F[d].Lo
+			out[i].hi[d] = rs[i].F[d].Hi
+		}
+	}
+	return out
+}
+
+// addLeaf appends a leaf window and returns its encoded child reference.
+func (e *RangeEngine) addLeaf(ids []int32) int32 {
+	i := int32(len(e.leaves))
+	e.leaves = append(e.leaves, leafRef{off: int32(len(e.ruleIDs)), n: int32(len(ids))})
+	e.ruleIDs = append(e.ruleIDs, ids...)
+	return ^i
+}
+
+// flattenTree numbers a baseline tree's internal nodes in depth-first
+// preorder and returns them along with a child-reference resolver that
+// deduplicates leaves and lazily allocates the shared empty leaf for
+// nil children. The numbering completes before any pool is filled, so
+// forward references resolve. Shared by both baseline compilers; only
+// the per-algorithm cut headers differ.
+func flattenTree[N comparable](e *RangeEngine, root N,
+	isLeaf func(N) bool, kids func(N) []N, leafRules func(N) []int32) ([]N, func(N) int32) {
+	var zero N
+	nodeIdx := map[N]int32{}
+	leafRefs := map[N]int32{}
+	var order []N
+	var visit func(N)
+	visit = func(n N) {
+		if n == zero || isLeaf(n) {
+			return
+		}
+		if _, ok := nodeIdx[n]; ok {
+			return
+		}
+		nodeIdx[n] = int32(len(order))
+		order = append(order, n)
+		for _, c := range kids(n) {
+			visit(c)
+		}
+	}
+	var emptyRef int32
+	haveEmpty := false
+	ref := func(n N) int32 {
+		if n == zero {
+			if !haveEmpty {
+				emptyRef = e.addLeaf(nil)
+				haveEmpty = true
+			}
+			return emptyRef
+		}
+		if !isLeaf(n) {
+			return nodeIdx[n]
+		}
+		if r, ok := leafRefs[n]; ok {
+			return r
+		}
+		r := e.addLeaf(leafRules(n))
+		leafRefs[n] = r
+		return r
+	}
+	visit(root)
+	return order, ref
+}
+
+// CompileHiCuts flattens a built original-HiCuts tree.
+func CompileHiCuts(t *hicuts.Tree) *RangeEngine {
+	e := &RangeEngine{rules: flatRules(t.Rules())}
+	order, ref := flattenTree(e, t.Root,
+		func(n *hicuts.Node) bool { return n.Leaf },
+		func(n *hicuts.Node) []*hicuts.Node { return n.Children },
+		func(n *hicuts.Node) []int32 { return n.Rules })
+	e.nodes = make([]rnode, len(order))
+	for i, n := range order {
+		size := uint64(n.Hi) - uint64(n.Lo) + 1
+		width := (size + uint64(n.NumCuts) - 1) / uint64(n.NumCuts)
+		nd := rnode{cutOff: int32(len(e.cuts)), cutLen: 1, kidOff: int32(len(e.kids))}
+		e.cuts = append(e.cuts, rcut{
+			dim: uint8(n.Dim), lo: n.Lo, hi: n.Hi,
+			width: width, np: int32(n.NumCuts), stride: 1,
+		})
+		for _, c := range n.Children {
+			e.kids = append(e.kids, ref(c))
+		}
+		e.nodes[i] = nd
+	}
+	e.root = ref(t.Root)
+	return e
+}
+
+// CompileHyperCuts flattens a built original-HyperCuts tree, keeping its
+// region-compacted multi-dimensional cuts and pushed-rule lists.
+func CompileHyperCuts(t *hypercuts.Tree) *RangeEngine {
+	e := &RangeEngine{rules: flatRules(t.Rules())}
+	order, ref := flattenTree(e, t.Root,
+		func(n *hypercuts.Node) bool { return n.Leaf },
+		func(n *hypercuts.Node) []*hypercuts.Node { return n.Children },
+		func(n *hypercuts.Node) []int32 { return n.Rules })
+	e.nodes = make([]rnode, len(order))
+	for i, n := range order {
+		nd := rnode{
+			cutOff: int32(len(e.cuts)), cutLen: int32(len(n.Cuts)),
+			kidOff:  int32(len(e.kids)),
+			pushOff: int32(len(e.pushed)), pushLen: int32(len(n.Pushed)),
+		}
+		// Stride of cut i is the product of cut counts after it (the
+		// same row-major flattening hypercuts.comboStrides computes).
+		stride := int32(1)
+		strides := make([]int32, len(n.Cuts))
+		for j := len(n.Cuts) - 1; j >= 0; j-- {
+			strides[j] = stride
+			stride *= int32(n.Cuts[j].NumCuts)
+		}
+		for j, c := range n.Cuts {
+			size := uint64(c.Hi) - uint64(c.Lo) + 1
+			width := (size + uint64(c.NumCuts) - 1) / uint64(c.NumCuts)
+			e.cuts = append(e.cuts, rcut{
+				dim: uint8(c.Dim), lo: c.Lo, hi: c.Hi,
+				width: width, np: int32(c.NumCuts), stride: strides[j],
+			})
+		}
+		e.pushed = append(e.pushed, n.Pushed...)
+		for _, c := range n.Children {
+			e.kids = append(e.kids, ref(c))
+		}
+		e.nodes[i] = nd
+	}
+	e.root = ref(t.Root)
+	return e
+}
+
+// match reports whether rule id matches p (the five unrolled range
+// compares of the flat rule form).
+func (e *RangeEngine) match(id int32, p rule.Packet) bool {
+	r := &e.rules[id]
+	f2 := uint32(p.SrcPort)
+	f3 := uint32(p.DstPort)
+	f4 := uint32(p.Proto)
+	return p.SrcIP >= r.lo[0] && p.SrcIP <= r.hi[0] &&
+		p.DstIP >= r.lo[1] && p.DstIP <= r.hi[1] &&
+		f2 >= r.lo[2] && f2 <= r.hi[2] &&
+		f3 >= r.lo[3] && f3 <= r.hi[3] &&
+		f4 >= r.lo[4] && f4 <= r.hi[4]
+}
+
+// Classify returns the lowest (highest-priority) matching rule ID for p,
+// or -1, with exactly the semantics of the source tree's Classify:
+// pushed rules are considered along the path, leaving the compacted
+// region ends the search, and the leaf scan stops once it cannot beat
+// the best pushed match. It allocates nothing.
+func (e *RangeEngine) Classify(p rule.Packet) int {
+	best := int32(-1)
+	ref := e.root
+	for ref >= 0 {
+		n := &e.nodes[ref]
+		for _, id := range e.pushed[n.pushOff : n.pushOff+n.pushLen] {
+			if (best < 0 || id < best) && e.match(id, p) {
+				best = id
+			}
+		}
+		idx := int32(0)
+		for i := n.cutOff; i < n.cutOff+n.cutLen; i++ {
+			c := &e.cuts[i]
+			v := p.Field(int(c.dim))
+			if v < c.lo || v > c.hi {
+				return int(best) // outside the (compacted) region
+			}
+			ci := int32(uint64(v-c.lo) / c.width)
+			if ci >= c.np {
+				ci = c.np - 1
+			}
+			idx += ci * c.stride
+		}
+		ref = e.kids[n.kidOff+idx]
+	}
+	l := e.leaves[^ref]
+	for _, id := range e.ruleIDs[l.off : l.off+l.n] {
+		if best >= 0 && id > best {
+			break // leaf is priority-ordered; cannot improve
+		}
+		if e.match(id, p) {
+			best = id
+			break
+		}
+	}
+	return int(best)
+}
+
+// ClassifyBatch classifies pkts[i] into out[i] for every i with zero
+// heap allocations; out must be at least as long as pkts.
+func (e *RangeEngine) ClassifyBatch(pkts []rule.Packet, out []int32) {
+	_ = out[:len(pkts)]
+	for i := range pkts {
+		out[i] = int32(e.Classify(pkts[i]))
+	}
+}
+
+// ParallelClassify classifies pkts into out using up to workers
+// goroutines over contiguous shards (workers <= 0 selects GOMAXPROCS).
+func (e *RangeEngine) ParallelClassify(pkts []rule.Packet, out []int32, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pkts) {
+		workers = len(pkts)
+	}
+	if workers <= 1 {
+		e.ClassifyBatch(pkts, out)
+		return
+	}
+	_ = out[:len(pkts)]
+	chunk := (len(pkts) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < len(pkts); start += chunk {
+		end := min(start+chunk, len(pkts))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			e.ClassifyBatch(pkts[lo:hi], out[lo:hi])
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// MemoryBytes returns the flat footprint of the baseline rendering.
+func (e *RangeEngine) MemoryBytes() int {
+	return len(e.nodes)*20 + len(e.cuts)*24 + len(e.kids)*4 + len(e.pushed)*4 +
+		len(e.leaves)*8 + len(e.ruleIDs)*4 + len(e.rules)*40
+}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/hicuts"
+	"repro/internal/hypercuts"
+	"repro/internal/rule"
+)
+
+// TestRangeEngineDifferential pins the flat baseline renderings to their
+// pointer-walking sources packet-exact, across profiles and sizes
+// (including tiny rulesets whose roots are leaves, and region-compacted
+// HyperCuts trees with pushed rules).
+func TestRangeEngineDifferential(t *testing.T) {
+	profiles := map[string]func() classbench.Profile{
+		"acl1": classbench.ACL1, "fw1": classbench.FW1, "ipc1": classbench.IPC1,
+	}
+	for name, prof := range profiles {
+		for _, n := range []int{5, 120, 700} {
+			rs := classbench.Generate(prof(), n, int64(n)+61)
+			trace := classbench.GenerateTrace(rs, 2500, int64(n)+62)
+
+			ht, err := hicuts.Build(rs, hicuts.DefaultConfig())
+			if err != nil {
+				t.Fatalf("%s n=%d: hicuts build: %v", name, n, err)
+			}
+			fh := CompileHiCuts(ht)
+			for i, p := range trace {
+				if got, want := fh.Classify(p), ht.Classify(p); got != want {
+					t.Fatalf("%s n=%d packet %d: flat hicuts=%d tree=%d", name, n, i, got, want)
+				}
+			}
+
+			yt, err := hypercuts.Build(rs, hypercuts.DefaultConfig())
+			if err != nil {
+				t.Fatalf("%s n=%d: hypercuts build: %v", name, n, err)
+			}
+			fy := CompileHyperCuts(yt)
+			for i, p := range trace {
+				if got, want := fy.Classify(p), yt.Classify(p); got != want {
+					t.Fatalf("%s n=%d packet %d: flat hypercuts=%d tree=%d", name, n, i, got, want)
+				}
+			}
+
+			// Batch and sharded paths agree with the scalar path.
+			out := make([]int32, len(trace))
+			par := make([]int32, len(trace))
+			fy.ClassifyBatch(trace, out)
+			fy.ParallelClassify(trace, par, 4)
+			for i := range trace {
+				if out[i] != par[i] || int(out[i]) != fy.Classify(trace[i]) {
+					t.Fatalf("%s n=%d packet %d: batch=%d parallel=%d", name, n, i, out[i], par[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRangeEngineAdversarial hits the paths synthetic profiles rarely
+// produce: packets outside compacted regions and rules beaten by pushed
+// matches.
+func TestRangeEngineAdversarial(t *testing.T) {
+	// A ruleset whose bounding box leaves most of the space empty makes
+	// region compaction bite: faraway packets exit early.
+	var rs rule.RuleSet
+	for i := 0; i < 40; i++ {
+		r := rule.New(i, uint32(0x0A000000+i*7), 32, uint32(0x0B000000+i*13), 32,
+			rule.Range{Lo: uint32(i), Hi: uint32(i + 2)}, rule.Range{Lo: 80, Hi: 80}, 6, false)
+		rs = append(rs, r)
+	}
+	// Plus one broad rule that pushes up.
+	rs = append(rs, rule.New(len(rs), 0x0A000000, 8, 0x0B000000, 8,
+		rule.FullRange(rule.DimSrcPort), rule.FullRange(rule.DimDstPort), 0, true))
+	yt, err := hypercuts.Build(rs, hypercuts.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fy := CompileHyperCuts(yt)
+	probe := []rule.Packet{
+		{SrcIP: 0xFFFFFFFF, DstIP: 0xFFFFFFFF, SrcPort: 1, DstPort: 1, Proto: 17}, // far outside
+		{SrcIP: 0x0A000003, DstIP: 0x0B000027, SrcPort: 3, DstPort: 80, Proto: 6}, // exact rule
+		{SrcIP: 0x0A000099, DstIP: 0x0B000099, SrcPort: 9, DstPort: 9, Proto: 6},  // broad only
+	}
+	probe = append(probe, classbench.GenerateTrace(rs, 2000, 63)...)
+	for i, p := range probe {
+		if got, want := fy.Classify(p), yt.Classify(p); got != want {
+			t.Fatalf("packet %d: flat=%d tree=%d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Snapshot is one published epoch of the flat image: an immutable Engine
+// plus the epoch counter it was installed at. Readers that capture a
+// Snapshot classify against a consistent structure for as long as they
+// hold it, regardless of concurrent updates.
+type Snapshot struct {
+	eng   *Engine
+	epoch uint64
+}
+
+// Engine returns the snapshot's immutable engine.
+func (s *Snapshot) Engine() *Engine { return s.eng }
+
+// Epoch returns the snapshot's version: 0 for the engine a Handle was
+// created with, incremented by every Apply or Swap.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Handle is the epoch-versioned publication point between one updater
+// and many readers, the software twin of the paper's §4 split between
+// the classifying accelerator and the control-plane processor that
+// updates the off-chip copy.
+//
+// Readers call Current (a single atomic pointer load — no locks, no
+// reference counting) and classify on the returned snapshot; they
+// observe updates whenever they next call Current. The updater applies
+// tree deltas with Apply, which patches the newest snapshot and installs
+// the result as the next epoch; Swap installs a freshly compiled engine
+// when patch garbage or tree degradation warrants a full rebuild. Apply
+// and Swap serialize on an internal mutex, so the handle is safe for
+// concurrent use from any number of goroutines on both sides.
+type Handle struct {
+	cur atomic.Pointer[Snapshot]
+	mu  sync.Mutex // serializes updaters (Apply/Swap)
+}
+
+// NewHandle publishes e as epoch 0.
+func NewHandle(e *Engine) *Handle {
+	h := &Handle{}
+	h.cur.Store(&Snapshot{eng: e})
+	return h
+}
+
+// Current returns the newest published snapshot. It is lock-free and
+// safe to call from any goroutine at any time.
+func (h *Handle) Current() *Snapshot { return h.cur.Load() }
+
+// Apply patches the newest snapshot with d and publishes the result as
+// the next epoch. Readers keep classifying on their captured snapshots
+// throughout; there is no quiescence period and no stall.
+func (h *Handle) Apply(d *core.Delta) (*Snapshot, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old := h.cur.Load()
+	ne, err := old.eng.Patch(d)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{eng: ne, epoch: old.epoch + 1}
+	h.cur.Store(s)
+	return s, nil
+}
+
+// Swap publishes a freshly compiled engine as the next epoch, replacing
+// the patch chain (and its accumulated garbage) wholesale. It is the
+// degradation-triggered full-recompile path.
+func (h *Handle) Swap(e *Engine) *Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old := h.cur.Load()
+	s := &Snapshot{eng: e, epoch: old.epoch + 1}
+	h.cur.Store(s)
+	return s
+}

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rule"
+)
+
+// Patch derives the next snapshot of the flat image from a structured
+// update delta (core.Tree.InsertDelta / DeleteDelta) without recompiling.
+// The receiver is not modified; the returned engine shares every
+// unchanged pool segment with it:
+//
+//   - cuts never change (internal-node cut headers are invariant under
+//     incremental updates) and are always shared;
+//   - rules, ruleIDs and kids are append-only arenas: new rule entries,
+//     rewritten leaf windows and relocated kid blocks are appended past
+//     the receiver's length, so readers of older snapshots — whose
+//     offsets all point below it — are never disturbed (this is what
+//     makes the snapshot swap race-detector clean);
+//   - leaves is copied (8 bytes per leaf) when the delta edits any leaf,
+//     and nodes (16 bytes per node) when any child slot is repointed; a
+//     repointed node's whole kid block moves to the arena end rather
+//     than being edited in place.
+//
+// Abandoned windows and blocks are counted in deadRuleSlots/deadKidSlots;
+// when GarbageRatio crosses the operator's threshold, a fresh Compile of
+// the (relaid-out) tree replaces the patch chain.
+//
+// Patch must be applied to the newest snapshot only, in delta order, and
+// by one updater at a time — Handle.Apply enforces exactly that. A delta
+// taken across a core.Tree.Relayout is invalid here (leaf indices move);
+// recompile instead.
+func (e *Engine) Patch(d *core.Delta) (*Engine, error) {
+	ne := &Engine{
+		nodes:         e.nodes,
+		cuts:          e.cuts,
+		kids:          e.kids,
+		leaves:        e.leaves,
+		ruleIDs:       e.ruleIDs,
+		rules:         e.rules,
+		sentinel:      e.sentinel,
+		deadRuleSlots: e.deadRuleSlots,
+		deadKidSlots:  e.deadKidSlots,
+	}
+	if d.RuleAppended {
+		if d.AppendedRule.ID != len(ne.rules) {
+			return nil, fmt.Errorf("engine: patch appends rule %d but the image holds %d rules (delta applied out of order?)",
+				d.AppendedRule.ID, len(ne.rules))
+		}
+		var fr flatRule
+		for dim := 0; dim < rule.NumDims; dim++ {
+			fr.lo[dim] = d.AppendedRule.F[dim].Lo
+			fr.hi[dim] = d.AppendedRule.F[dim].Hi
+		}
+		ne.rules = append(ne.rules, fr)
+	}
+	// A deleted rule needs no rule-table edit: every live leaf window
+	// that referenced it is rewritten below, so the entry is unreachable.
+
+	if len(d.LeafEdits) > 0 {
+		extra := 0
+		for _, le := range d.LeafEdits {
+			if le.New {
+				extra++
+			}
+		}
+		leaves := make([]leafRef, len(e.leaves), len(e.leaves)+extra)
+		copy(leaves, e.leaves)
+		ne.leaves = leaves
+		for _, le := range d.LeafEdits {
+			slot := ne.leafSlot(le.Index)
+			ref := leafRef{off: int32(len(ne.ruleIDs)), n: int32(len(le.Rules))}
+			ne.ruleIDs = append(ne.ruleIDs, le.Rules...)
+			if le.New {
+				if int(slot) != len(ne.leaves) {
+					return nil, fmt.Errorf("engine: patch appends leaf %d but the leaf table holds %d entries (delta applied out of order?)",
+						le.Index, len(ne.leaves))
+				}
+				ne.leaves = append(ne.leaves, ref)
+				continue
+			}
+			if int(slot) >= len(ne.leaves) {
+				return nil, fmt.Errorf("engine: patch edits leaf %d of %d", le.Index, len(ne.leaves))
+			}
+			ne.deadRuleSlots += int(ne.leaves[slot].n)
+			ne.leaves[slot] = ref
+		}
+	}
+
+	// Orphaned leaves keep their (stable) table entries but lose their
+	// last reference: their rule windows are unreachable garbage from
+	// this snapshot on.
+	for _, oi := range d.Orphaned {
+		slot := ne.leafSlot(oi)
+		if int(slot) >= len(ne.leaves) {
+			return nil, fmt.Errorf("engine: patch orphans leaf %d of %d", oi, len(ne.leaves))
+		}
+		ne.deadRuleSlots += int(ne.leaves[slot].n)
+	}
+
+	if len(d.KidEdits) > 0 {
+		nodes := make([]node, len(e.nodes))
+		copy(nodes, e.nodes)
+		ne.nodes = nodes
+		moved := make(map[int]bool, 4)
+		for _, ke := range d.KidEdits {
+			if ke.Word < 0 || ke.Word >= len(ne.nodes) {
+				return nil, fmt.Errorf("engine: patch repoints node %d of %d", ke.Word, len(ne.nodes))
+			}
+			nd := &ne.nodes[ke.Word]
+			if ke.Slot < 0 || int32(ke.Slot) >= nd.kidLen {
+				return nil, fmt.Errorf("engine: patch repoints slot %d of node %d (%d slots)", ke.Slot, ke.Word, nd.kidLen)
+			}
+			if !moved[ke.Word] {
+				// Copy-on-write at kid-block granularity: the node's
+				// block is appended to the arena end and the node
+				// repointed; the original block becomes garbage but
+				// stays intact for readers of older snapshots.
+				moved[ke.Word] = true
+				off := int32(len(ne.kids))
+				ne.kids = append(ne.kids, ne.kids[nd.kidOff:nd.kidOff+nd.kidLen]...)
+				ne.deadKidSlots += int(nd.kidLen)
+				nd.kidOff = off
+			}
+			leaf := ne.leafSlot(ke.Leaf)
+			if int(leaf) >= len(ne.leaves) {
+				return nil, fmt.Errorf("engine: patch points slot at leaf %d of %d", ke.Leaf, len(ne.leaves))
+			}
+			ne.kids[nd.kidOff+int32(ke.Slot)] = ^leaf
+		}
+	}
+	return ne, nil
+}
+
+// leafSlot translates a core leaf-table index (core.Tree.Leaves()
+// position) into this engine's leaf-table index. They coincide except
+// when Compile inserted an empty-leaf sentinel for nil child slots, which
+// occupies one extra entry; core indices at or past it shift up by one.
+func (e *Engine) leafSlot(coreIdx int) int32 {
+	i := int32(coreIdx)
+	if e.sentinel >= 0 && i >= e.sentinel {
+		i++
+	}
+	return i
+}
+
+// VerifyPatched cross-checks a live-updated image against a fresh
+// recompile, packet-exact: patched is the engine produced by replaying
+// update deltas (Patch) since some earlier Compile, fresh is Compile of
+// the tree's current state. It returns an error naming the first
+// divergent packet, or nil when the patch pipeline reproduced the
+// recompiled image's behaviour exactly. The update-churn benchmark and
+// the facade's tests run every churn sequence through this before
+// trusting its throughput numbers; hwsim.RunVerified extends the same
+// cross-check to the encoded hardware image.
+func VerifyPatched(trace []rule.Packet, patched, fresh *Engine) error {
+	got := make([]int32, len(trace))
+	want := make([]int32, len(trace))
+	patched.ClassifyBatch(trace, got)
+	fresh.ClassifyBatch(trace, want)
+	for i := range trace {
+		if got[i] != want[i] {
+			return fmt.Errorf("engine: packet %d: patched engine matched rule %d, fresh recompile matched %d",
+				i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// GarbageRatio reports the fraction of the kids and ruleIDs arenas
+// abandoned by patches: rewritten leaf windows and relocated kid blocks
+// accumulate until a full Compile resets the pools. It is the engine-side
+// degradation signal, the analogue of core.Tree.Degradation for the tree:
+// recompile when either crosses the operator's threshold.
+func (e *Engine) GarbageRatio() float64 {
+	total := len(e.ruleIDs) + len(e.kids)
+	if total == 0 {
+		return 0
+	}
+	return float64(e.deadRuleSlots+e.deadKidSlots) / float64(total)
+}

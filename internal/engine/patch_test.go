@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+	"repro/internal/rule"
+)
+
+// TestPatchDifferentialRandom drives a long randomized Insert/Delete
+// sequence through the delta/Patch pipeline and checks, packet-exact,
+// that the patched engine equals a fresh Compile of the same tree and
+// the ground-truth first-match semantics — for both algorithms. Seeds
+// are part of every failure message so a failing sequence replays.
+func TestPatchDifferentialRandom(t *testing.T) {
+	for _, algo := range []core.Algorithm{core.HiCuts, core.HyperCuts} {
+		for _, seed := range []int64{1, 42, 2008} {
+			t.Run(algo.String(), func(t *testing.T) {
+				runPatchDifferential(t, algo, seed)
+			})
+		}
+	}
+}
+
+func runPatchDifferential(t *testing.T, algo core.Algorithm, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rs := classbench.Generate(classbench.ACL1(), 250, seed)
+	tree, err := core.Build(rs, core.DefaultConfig(algo))
+	if err != nil {
+		t.Fatalf("seed %d: build: %v", seed, err)
+	}
+	eng := Compile(tree)
+
+	// Pool of rules to insert, from a different profile so inserts cross
+	// existing cut boundaries.
+	pool := classbench.Generate(classbench.FW1(), 120, seed+1)
+	inserted := 0
+	live := append(rule.RuleSet{}, rs...)
+	deleted := map[int]bool{}
+
+	expect := func(p rule.Packet) int {
+		for i := range live {
+			if deleted[live[i].ID] {
+				continue
+			}
+			if live[i].Matches(p) {
+				return live[i].ID
+			}
+		}
+		return -1
+	}
+
+	const ops = 120
+	for op := 0; op < ops; op++ {
+		if inserted < len(pool) && (rng.Intn(10) < 6 || len(live) == len(deleted)) {
+			r := pool[inserted]
+			r.ID = len(live)
+			inserted++
+			d, err := tree.InsertDelta(r)
+			if err != nil {
+				t.Fatalf("seed %d op %d: insert: %v", seed, op, err)
+			}
+			live = append(live, r)
+			if eng, err = eng.Patch(d); err != nil {
+				t.Fatalf("seed %d op %d: patch insert: %v", seed, op, err)
+			}
+		} else {
+			id := rng.Intn(len(live))
+			d, err := tree.DeleteDelta(id)
+			if err != nil {
+				t.Fatalf("seed %d op %d: delete %d: %v", seed, op, id, err)
+			}
+			deleted[id] = true
+			if eng, err = eng.Patch(d); err != nil {
+				t.Fatalf("seed %d op %d: patch delete %d: %v", seed, op, id, err)
+			}
+		}
+
+		if op%20 != ops%20 && op != ops-1 {
+			continue
+		}
+		// Packet-exact cross-check: patched engine vs fresh recompile of
+		// the same tree vs ground truth.
+		fresh := Compile(tree)
+		trace := classbench.GenerateTrace(live, 1200, seed+int64(op))
+		for i, p := range trace {
+			got := eng.Classify(p)
+			if want := fresh.Classify(p); got != want {
+				t.Fatalf("seed %d op %d packet %d: patched=%d fresh=%d", seed, op, i, got, want)
+			}
+			if want := expect(p); got != want {
+				t.Fatalf("seed %d op %d packet %d: patched=%d ground-truth=%d", seed, op, i, got, want)
+			}
+		}
+	}
+	if eng.GarbageRatio() <= 0 {
+		t.Errorf("seed %d: %d updates produced no patch garbage", seed, ops)
+	}
+}
+
+// TestPatchSharesUnchangedSegments pins the copy-on-write contract: a
+// delete that edits no kid blocks shares nodes, cuts and kids with its
+// parent snapshot, and patched snapshots never disturb what a previously
+// captured snapshot returns.
+func TestPatchSharesUnchangedSegments(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 300, 7)
+	tree, err := core.Build(rs, core.DefaultConfig(core.HyperCuts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := Compile(tree)
+	trace := classbench.GenerateTrace(rs, 2000, 8)
+	before := make([]int32, len(trace))
+	e0.ClassifyBatch(trace, before)
+
+	d, err := tree.DeleteDelta(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := e0.Patch(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &e1.nodes[0] != &e0.nodes[0] {
+		t.Error("delete copied the nodes segment")
+	}
+	if len(e1.cuts) > 0 && &e1.cuts[0] != &e0.cuts[0] {
+		t.Error("patch copied the cuts segment")
+	}
+
+	// The old snapshot still answers exactly as before the update.
+	after := make([]int32, len(trace))
+	e0.ClassifyBatch(trace, after)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("packet %d: captured snapshot changed from %d to %d after patch", i, before[i], after[i])
+		}
+	}
+	// And the new one reflects the delete.
+	for i, p := range trace {
+		if before[i] == 3 && e1.Classify(p) == 3 {
+			t.Fatalf("packet %d still matches deleted rule on patched snapshot", i)
+		}
+	}
+}
+
+// TestPatchRejectsOutOfOrder pins the delta-ordering contract.
+func TestPatchRejectsOutOfOrder(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 100, 9)
+	tree, err := core.Build(rs, core.DefaultConfig(core.HiCuts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := Compile(tree)
+	r := rule.New(len(rs), 0, 0, 0, 0,
+		rule.FullRange(rule.DimSrcPort), rule.FullRange(rule.DimDstPort), 0, true)
+	d, err := tree.InsertDelta(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := e0.Patch(d)
+	if err != nil {
+		t.Fatalf("in-order patch failed: %v", err)
+	}
+	if _, err := e1.Patch(d); err == nil {
+		t.Error("replaying an already-applied insert delta was accepted")
+	}
+}

@@ -372,6 +372,9 @@ func (t *Tree) layout() {
 // Stats returns the build statistics.
 func (t *Tree) Stats() BuildStats { return t.stats }
 
+// Rules returns the ruleset the tree classifies.
+func (t *Tree) Rules() rule.RuleSet { return t.rules }
+
 // Config returns the configuration the tree was built with.
 func (t *Tree) Config() Config { return t.cfg }
 

@@ -231,12 +231,13 @@ func (s *Sim) Run(trace []rule.Packet) ([]int, Stats) {
 }
 
 // RunVerified classifies the trace like Run while cross-checking every
-// match against the flat software engine compiled from the same tree.
-// The simulator interprets the encoded 4800-bit words and the engine
-// walks its own flat arrays, so agreement pins the image encoding, the
-// simulated datapath and the software fast path to each other packet by
-// packet. A mismatch aborts with an error naming the first divergent
-// packet.
+// match against the flat software engine handed in — compiled fresh from
+// the same tree, or built by a chain of engine.Patch calls from an older
+// compile. The simulator interprets the encoded 4800-bit words and the
+// engine walks its own flat arrays, so agreement pins the image
+// encoding, the simulated datapath and the software fast path (patched
+// or fresh) to each other packet by packet. A mismatch aborts with an
+// error naming the first divergent packet.
 func (s *Sim) RunVerified(trace []rule.Packet, eng *engine.Engine) ([]int, Stats, error) {
 	matches, st := s.Run(trace)
 	want := make([]int32, len(trace))

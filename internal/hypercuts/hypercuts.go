@@ -622,6 +622,9 @@ func (t *Tree) layout() {
 // Stats returns build statistics.
 func (t *Tree) Stats() BuildStats { return t.stats }
 
+// Rules returns the ruleset the tree classifies.
+func (t *Tree) Rules() rule.RuleSet { return t.rules }
+
 // Config returns the build configuration.
 func (t *Tree) Config() Config { return t.cfg }
 

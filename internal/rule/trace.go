@@ -34,38 +34,52 @@ func ReadTrace(r io.Reader) ([]Packet, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+		p, ok, err := ParseTraceLine(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", lineNo, err)
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 5 {
-			return nil, fmt.Errorf("trace line %d: want 5 fields, got %d", lineNo, len(fields))
+		if ok {
+			trace = append(trace, p)
 		}
-		vals := make([]uint64, 5)
-		for i := 0; i < 5; i++ {
-			v, err := strconv.ParseUint(fields[i], 10, 32)
-			if err != nil {
-				return nil, fmt.Errorf("trace line %d field %d: %v", lineNo, i+1, err)
-			}
-			vals[i] = v
-		}
-		if vals[2] > 0xFFFF || vals[3] > 0xFFFF {
-			return nil, fmt.Errorf("trace line %d: port out of range", lineNo)
-		}
-		if vals[4] > 0xFF {
-			return nil, fmt.Errorf("trace line %d: protocol out of range", lineNo)
-		}
-		trace = append(trace, Packet{
-			SrcIP:   uint32(vals[0]),
-			DstIP:   uint32(vals[1]),
-			SrcPort: uint16(vals[2]),
-			DstPort: uint16(vals[3]),
-			Proto:   uint8(vals[4]),
-		})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	return trace, nil
+}
+
+// ParseTraceLine parses one line of the trace format. ok is false for
+// blank lines and '#' comments (and the zero Packet is returned); parse
+// failures return an error without line context, which streaming callers
+// wrap with their own position.
+func ParseTraceLine(line string) (p Packet, ok bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Packet{}, false, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 5 {
+		return Packet{}, false, fmt.Errorf("want 5 fields, got %d", len(fields))
+	}
+	var vals [5]uint64
+	for i := 0; i < 5; i++ {
+		v, err := strconv.ParseUint(fields[i], 10, 32)
+		if err != nil {
+			return Packet{}, false, fmt.Errorf("field %d: %v", i+1, err)
+		}
+		vals[i] = v
+	}
+	if vals[2] > 0xFFFF || vals[3] > 0xFFFF {
+		return Packet{}, false, fmt.Errorf("port out of range")
+	}
+	if vals[4] > 0xFF {
+		return Packet{}, false, fmt.Errorf("protocol out of range")
+	}
+	return Packet{
+		SrcIP:   uint32(vals[0]),
+		DstIP:   uint32(vals[1]),
+		SrcPort: uint16(vals[2]),
+		DstPort: uint16(vals[3]),
+		Proto:   uint8(vals[4]),
+	}, true, nil
 }

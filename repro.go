@@ -9,6 +9,10 @@
 //   - build the paper's modified HiCuts/HyperCuts search structure and
 //     run it on the cycle-accurate accelerator model (BuildAccelerator,
 //     Accelerator.Classify / Run);
+//   - update the ruleset live (Accelerator.Insert / Delete) while
+//     software classification keeps running at full rate on lock-free
+//     epoch snapshots (SoftwareEngine, ClassifyStream), with
+//     degradation-triggered background recompaction;
 //   - compare against the software baselines the paper uses
 //     (NewSoftwareBaseline);
 //   - regenerate every evaluation table (WriteAllTables).
@@ -18,8 +22,12 @@
 package repro
 
 import (
+	"bufio"
 	"fmt"
 	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bench"
 	"repro/internal/classbench"
@@ -95,14 +103,52 @@ type Config struct {
 	CompactLeaves bool
 	// Target picks the simulated device (default ASIC).
 	Target Target
+	// RecompileThreshold is the Degradation/garbage level at which an
+	// incremental update triggers a background full rebuild of the
+	// flat image (0 selects DefaultRecompileThreshold; negative
+	// disables auto-recompiles).
+	RecompileThreshold float64
 }
 
+// DefaultRecompileThreshold is the default update-degradation level that
+// triggers a background recompile: once a quarter of the leaf table is
+// overgrown or orphaned (or the engine arenas are a quarter garbage),
+// folding the patches into a fresh image costs less than carrying them.
+const DefaultRecompileThreshold = 0.25
+
 // Accelerator is a built search structure loaded into the simulated
-// hardware classifier.
+// hardware classifier, together with the live-updatable software engine.
+//
+// All methods are safe for concurrent use. The update path models the
+// paper's §4 control plane: Insert and Delete patch the off-chip tree
+// copy, replay the structured delta onto the flat software image
+// (engine.Patch — no recompile), and mark the simulated device memory
+// for lazy rewrite. Software classification (SoftwareEngine,
+// ClassifyStream) reads lock-free epoch snapshots and keeps running at
+// full rate during updates; when Degradation or the engine's
+// GarbageRatio crosses Config.RecompileThreshold, a background rebuild
+// compacts the structure and swaps it in as the next epoch.
 type Accelerator struct {
-	tree *core.Tree
-	sim  *hwsim.Sim
-	dev  hwsim.Device
+	mu       sync.Mutex // guards tree, sim, simDirty, simErr
+	tree     *core.Tree
+	sim      *hwsim.Sim
+	dev      hwsim.Device
+	simDirty bool  // tree changed since the device memory was written
+	simErr   error // last failed device rewrite (structure outgrew device)
+
+	handle    *engine.Handle
+	threshold float64
+	patchErr  error // last engine.Patch failure (sticky; see PatchError)
+
+	// degFloor is the degradation measured right after the last
+	// recompile: the part Relayout+Compile cannot reclaim (leaves grown
+	// past Binth need a re-cut, i.e. a fresh BuildAccelerator). The
+	// auto-trigger fires on drift above this floor, not the absolute
+	// level, so irreducible overgrowth cannot cause recompile-per-update.
+	degFloor float64
+
+	maint       sync.WaitGroup // in-flight background recompiles
+	recompiling atomic.Bool
 }
 
 // BuildAccelerator constructs the modified decision tree for rs, encodes
@@ -135,15 +181,42 @@ func BuildAccelerator(rs RuleSet, cfg Config) (*Accelerator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Accelerator{tree: tree, sim: sim, dev: dev}, nil
+	threshold := cfg.RecompileThreshold
+	if threshold == 0 {
+		threshold = DefaultRecompileThreshold
+	}
+	return &Accelerator{
+		tree:      tree,
+		sim:       sim,
+		dev:       dev,
+		handle:    engine.NewHandle(engine.Compile(tree)),
+		threshold: threshold,
+	}, nil
 }
 
-// Classify returns the highest-priority matching rule ID for p, or -1.
-func (a *Accelerator) Classify(p Packet) int { return a.sim.ClassifyOne(p).Match }
+// Classify returns the highest-priority matching rule ID for p, or -1,
+// classifying on the simulated hardware datapath. If updates have grown
+// the structure past what the device memory can hold (see LoadError),
+// the logical tree answers instead — matches stay exact.
+func (a *Accelerator) Classify(p Packet) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ensureSimLocked() != nil {
+		return a.tree.Classify(p)
+	}
+	return a.sim.ClassifyOne(p).Match
+}
 
 // ClassifyDetailed additionally reports the lookup's latency in clock
-// cycles and memory reads.
+// cycles and memory reads. When the device image is unloadable (see
+// LoadError) the analytical Eq. 5/7 walk supplies the cycle counts.
 func (a *Accelerator) ClassifyDetailed(p Packet) (match, latencyCycles, memReads int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ensureSimLocked() != nil {
+		pi := a.tree.Walk(p)
+		return pi.Match, pi.Cycles(), pi.Cycles() - 1
+	}
 	r := a.sim.ClassifyOne(p)
 	return r.Match, r.LatencyCycles, r.MemReads
 }
@@ -152,21 +225,77 @@ func (a *Accelerator) ClassifyDetailed(p Packet) (match, latencyCycles, memReads
 type Stats = hwsim.Stats
 
 // Run classifies a whole trace, returning per-packet matches and
-// aggregate throughput/energy statistics.
-func (a *Accelerator) Run(trace []Packet) ([]int, Stats) { return a.sim.Run(trace) }
+// aggregate throughput/energy statistics. The device is locked for the
+// duration (one stream per device, as in hardware); use ClassifyStream
+// for software classification concurrent with updates. When the device
+// image is unloadable (see LoadError) the matches come from the logical
+// tree and the statistics from the analytical Eq. 5/7 walk — the same
+// quantities the simulator is property-tested against.
+func (a *Accelerator) Run(trace []Packet) ([]int, Stats) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ensureSimLocked() != nil {
+		return a.runAnalyticLocked(trace)
+	}
+	return a.sim.Run(trace)
+}
+
+// runAnalyticLocked mirrors hwsim.Sim.Run's aggregation using
+// core.Tree.Walk cycle counts instead of simulated word reads.
+func (a *Accelerator) runAnalyticLocked(trace []Packet) ([]int, Stats) {
+	matches := make([]int, len(trace))
+	var st Stats
+	st.Cycles = 2 // reset + first packet's root cycle, as in hwsim.Run
+	for i, p := range trace {
+		pi := a.tree.Walk(p)
+		matches[i] = pi.Match
+		st.Packets++
+		if pi.Match >= 0 {
+			st.Matched++
+		}
+		reads := pi.Cycles() - 1 // root cycle overlaps the predecessor
+		st.MemReads += int64(reads)
+		st.Cycles += int64(reads)
+		if pi.Cycles() > st.WorstLatency {
+			st.WorstLatency = pi.Cycles()
+		}
+	}
+	if st.Packets > 0 {
+		st.AvgCyclesPerPacket = float64(st.Cycles-2) / float64(st.Packets)
+		seconds := float64(st.Cycles) / a.dev.FreqHz
+		st.PacketsPerSecond = float64(st.Packets) / seconds
+		st.TotalEnergyJ = float64(st.Cycles) * a.dev.EnergyPerCycleJ()
+		st.EnergyPerPacketJ = st.TotalEnergyJ / float64(st.Packets)
+	}
+	return matches, st
+}
 
 // MemoryBytes is the search-structure size (words x 600 bytes).
-func (a *Accelerator) MemoryBytes() int { return a.tree.MemoryBytes() }
+func (a *Accelerator) MemoryBytes() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tree.MemoryBytes()
+}
 
 // Words is the number of 4800-bit memory words used (device holds 1024).
-func (a *Accelerator) Words() int { return a.tree.Words() }
+func (a *Accelerator) Words() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tree.Words()
+}
 
 // WorstCaseCycles is the guaranteed per-packet bound (Tables 4 and 8).
-func (a *Accelerator) WorstCaseCycles() int { return a.tree.WorstCaseCycles() }
+func (a *Accelerator) WorstCaseCycles() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tree.WorstCaseCycles()
+}
 
 // GuaranteedPPS is the worst-case sustained throughput: the pipeline
 // overlap hides one cycle (paper §4).
 func (a *Accelerator) GuaranteedPPS() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return hwsim.WorstCaseThroughputPPS(a.dev, a.tree.WorstCaseCycles())
 }
 
@@ -174,55 +303,253 @@ func (a *Accelerator) GuaranteedPPS() float64 {
 func (a *Accelerator) DeviceName() string { return a.dev.Name }
 
 // Insert adds a rule at the lowest priority (ID must equal the current
-// rule count) and reloads the accelerator memory, modelling the paper's
-// §4 control-plane update path: the off-chip copy of the structure is
-// patched, re-laid-out and written back through the load interface.
+// rule count), modelling the paper's §4 control-plane update path: the
+// off-chip copy of the structure absorbs the change, the resulting delta
+// is patched onto the flat software image as the next lock-free epoch
+// (no recompile — readers keep classifying throughout), and the
+// simulated device memory is rewritten lazily on its next use. Safe for
+// concurrent use; updates serialize against each other.
 func (a *Accelerator) Insert(r Rule) error {
-	if err := a.tree.Insert(r); err != nil {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, err := a.tree.InsertDelta(r)
+	if err != nil {
 		return err
 	}
-	return a.reload()
+	return a.applyLocked(d)
 }
 
-// Delete removes a rule by ID and reloads the accelerator memory.
+// Delete removes a rule by ID; see Insert for the update path.
 func (a *Accelerator) Delete(id int) error {
-	if err := a.tree.Delete(id); err != nil {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, err := a.tree.DeleteDelta(id)
+	if err != nil {
 		return err
 	}
-	return a.reload()
+	return a.applyLocked(d)
 }
 
-// Degradation reports the fraction of leaves pushed past the build-time
-// threshold by incremental updates; rebuild via BuildAccelerator when it
-// exceeds the operator's tolerance.
-func (a *Accelerator) Degradation() float64 { return a.tree.Degradation() }
+// applyLocked replays a tree delta onto the engine snapshot chain, marks
+// the device image stale, and kicks a background recompile when the
+// structure has degraded past the threshold. The tree has already
+// absorbed the update by the time this runs, so a patch failure must not
+// leave the published engine diverged from it: the fallback is an inline
+// full recompile, which resynchronizes unconditionally. The update
+// itself therefore still succeeds, but the failure is recorded — it
+// means every update is paying recompile cost, the exact degradation
+// this pipeline exists to avoid — and PatchError surfaces it.
+func (a *Accelerator) applyLocked(d *core.Delta) error {
+	if _, err := a.handle.Apply(d); err != nil {
+		a.patchErr = fmt.Errorf("repro: delta patch failed (update applied via full recompile): %w", err)
+		a.recompileLocked()
+		return nil
+	}
+	a.simDirty = true
+	a.maybeRecompileLocked()
+	return nil
+}
 
-func (a *Accelerator) reload() error {
+// PatchError reports the most recent failure of the incremental patch
+// pipeline, or nil. A non-nil value means some Insert/Delete could not
+// be replayed as a delta and fell back to a full recompile — results
+// stayed correct and consistent, but updates paid recompile cost.
+// Monitor it like LoadError; it is cleared only by rebuilding the
+// Accelerator, since a patch failure indicates a delta-protocol bug
+// worth reporting.
+func (a *Accelerator) PatchError() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.patchErr
+}
+
+// Degradation reports how far incremental updates have pushed the
+// structure from its built quality (the fraction of leaf-table entries
+// overgrown or orphaned — see core.Tree.Degradation). It is the signal
+// the auto-recompile trigger compares against Config.RecompileThreshold;
+// surface it in dashboards to watch update churn.
+func (a *Accelerator) Degradation() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tree.Degradation()
+}
+
+// Epoch returns the software image's current epoch: 0 at build,
+// incremented by every applied update and recompile swap.
+func (a *Accelerator) Epoch() uint64 { return a.handle.Current().Epoch() }
+
+// LoadError reports whether the last lazy device-memory rewrite failed —
+// typically because updates grew the structure past the device's word
+// capacity. Software classification is unaffected; the hardware-model
+// methods fall back to exact logical-tree answers. A recompile (or
+// explicit Recompile) clears the condition if the compacted structure
+// fits again.
+func (a *Accelerator) LoadError() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ensureSimLocked()
+	return a.simErr
+}
+
+// maybeRecompileLocked starts one background full rebuild when the
+// engine arenas have accumulated too much patch garbage, or the tree has
+// degraded a further threshold's worth beyond what the last recompile
+// could reclaim (degFloor — overgrown leaves survive Relayout; only a
+// fresh BuildAccelerator re-cuts them).
+func (a *Accelerator) maybeRecompileLocked() {
+	if a.threshold < 0 {
+		return
+	}
+	if a.tree.Degradation() < a.degFloor+a.threshold &&
+		a.handle.Current().Engine().GarbageRatio() < a.threshold {
+		return
+	}
+	if !a.recompiling.CompareAndSwap(false, true) {
+		return // one rebuild in flight is enough
+	}
+	a.maint.Add(1)
+	go func() {
+		defer a.maint.Done()
+		defer a.recompiling.Store(false)
+		a.Recompile()
+	}()
+}
+
+// Recompile folds all accumulated update patches into a fresh structure:
+// the tree is re-laid-out (compacting orphaned leaves), recompiled, and
+// swapped in as the next epoch. Readers never stall — they classify on
+// the previous epoch until the swap lands. Updates arriving during the
+// rebuild wait for it (the control plane serializes; the data plane does
+// not).
+func (a *Accelerator) Recompile() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.recompileLocked()
+}
+
+func (a *Accelerator) recompileLocked() {
+	a.tree.Relayout()
+	a.handle.Swap(engine.Compile(a.tree))
+	a.simDirty = true
+	a.degFloor = a.tree.Degradation()
+}
+
+// WaitMaintenance blocks until background recompiles in flight have
+// finished. Useful in tests and orderly shutdown; normal operation never
+// needs it.
+func (a *Accelerator) WaitMaintenance() { a.maint.Wait() }
+
+// ensureSimLocked rewrites the simulated device memory if updates have
+// made it stale, recording (and returning) the load error when the
+// structure no longer fits the device.
+func (a *Accelerator) ensureSimLocked() error {
+	if !a.simDirty {
+		return a.simErr
+	}
+	a.simDirty = false
 	img, err := a.tree.Encode()
 	if err != nil {
-		return fmt.Errorf("repro: updated structure not encodable: %w", err)
+		a.simErr = fmt.Errorf("repro: updated structure not encodable: %w", err)
+		return a.simErr
 	}
 	sim, err := hwsim.New(img, a.dev)
 	if err != nil {
-		return err
+		a.simErr = err
+		return a.simErr
 	}
 	a.sim = sim
+	a.simErr = nil
 	return nil
 }
 
 // Engine is the flat software classification engine: the accelerator's
 // search structure compiled into contiguous pointer-free arrays (see
 // internal/engine). Classify and ClassifyBatch allocate nothing per
-// packet; all methods are safe for concurrent use. The engine is an
-// immutable snapshot — rebuild it after Insert/Delete.
+// packet; all methods are safe for concurrent use. The engine is one
+// epoch's immutable snapshot — updates applied through the accelerator
+// afterwards do not change it; call SoftwareEngine again (or use
+// ClassifyStream, which follows epochs automatically) to observe them.
 type Engine struct {
 	e *engine.Engine
 }
 
-// SoftwareEngine compiles the accelerator's current search structure into
-// a flat host-CPU engine, the production software fast path.
+// SoftwareEngine returns the current epoch's flat host-CPU engine, the
+// production software fast path. It is an O(1) snapshot capture, not a
+// recompile.
 func (a *Accelerator) SoftwareEngine() *Engine {
-	return &Engine{e: engine.Compile(a.tree)}
+	return &Engine{e: a.handle.Current().Engine()}
+}
+
+// StreamBatch is the number of packets ClassifyStream classifies per
+// engine-shard dispatch (and the granularity at which it observes
+// concurrent rule updates).
+const StreamBatch = 4096
+
+// ClassifyStream reads a packet trace from r (the text trace format of
+// WriteTrace: five tab-separated decimal fields per line, '#' comments
+// tolerated) and writes one matched rule ID per line to w, returning the
+// number of packets classified.
+//
+// Packets are classified in batches of StreamBatch sharded across all
+// cores. Each batch captures the newest epoch snapshot, so a stream
+// served concurrently with Insert/Delete keeps running at full rate —
+// updates land between batches, never mid-batch, and never stall the
+// stream (the lock-free snapshot handle is the only coupling).
+func (a *Accelerator) ClassifyStream(r io.Reader, w io.Writer) (int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	bw := bufio.NewWriter(w)
+	pkts := make([]rule.Packet, 0, StreamBatch)
+	out := make([]int32, StreamBatch)
+	num := make([]byte, 0, 16)
+	var total int64
+	flush := func() error {
+		if len(pkts) == 0 {
+			return nil
+		}
+		eng := a.handle.Current().Engine()
+		eng.ParallelClassify(pkts, out[:len(pkts)], 0)
+		for _, id := range out[:len(pkts)] {
+			num = strconv.AppendInt(num[:0], int64(id), 10)
+			num = append(num, '\n')
+			if _, err := bw.Write(num); err != nil {
+				return err
+			}
+		}
+		total += int64(len(pkts))
+		pkts = pkts[:0]
+		return nil
+	}
+	// Error returns flush the writer first so total never counts result
+	// lines still buffered (i.e. never delivered to w).
+	fail := func(err error) (int64, error) {
+		bw.Flush()
+		return total, err
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		p, ok, err := rule.ParseTraceLine(sc.Text())
+		if err != nil {
+			return fail(fmt.Errorf("repro: trace line %d: %w", lineNo, err))
+		}
+		if !ok {
+			continue
+		}
+		pkts = append(pkts, p)
+		if len(pkts) == StreamBatch {
+			if err := flush(); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fail(err)
+	}
+	if err := flush(); err != nil {
+		return fail(err)
+	}
+	return total, bw.Flush()
 }
 
 // Classify returns the highest-priority matching rule ID for p, or -1.

@@ -6,16 +6,55 @@
 #   git checkout my-perf-branch  && scripts/bench.sh > /tmp/new.txt
 #   benchstat /tmp/old.txt /tmp/new.txt
 #
+# Besides the raw `go test -bench` output on stdout, a machine-readable
+# BENCH_<date>.json (one {name, ns_op, b_op, allocs_op, mb_s} object per
+# benchmark row) is written so the perf trajectory is trackable across
+# PRs without parsing text tables.
+#
 # Environment knobs:
 #   BENCH  regex of benchmarks to run (default: engine + build suite)
 #   COUNT  repetitions per benchmark for benchstat significance (default 10)
 #   TIME   -benchtime per repetition (default 0.5s)
+#   JSON   output path (default BENCH_<YYYY-MM-DD>.json in the repo root;
+#          set to /dev/null to skip)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-Classify|Build|Compile}"
+BENCH="${BENCH:-Classify|Build|Compile|Patch}"
 COUNT="${COUNT:-10}"
 TIME="${TIME:-0.5s}"
+JSON="${JSON:-BENCH_$(date +%F).json}"
 
-exec go test -run='^$' -bench="$BENCH" -benchmem -count="$COUNT" \
-  -benchtime="$TIME" ./internal/engine/
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run='^$' -bench="$BENCH" -benchmem -count="$COUNT" \
+  -benchtime="$TIME" ./internal/engine/ | tee "$RAW"
+
+# Parse `BenchmarkName-P  N  X ns/op [Y MB/s] [Z B/op  W allocs/op] ...`
+# rows into a JSON array. Pure awk: no jq dependency in the container.
+awk '
+  /^Benchmark/ {
+    name = $1; ns = ""; bop = ""; allocs = ""; mbs = "";
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op")     ns     = $(i-1);
+      if ($i == "B/op")      bop    = $(i-1);
+      if ($i == "allocs/op") allocs = $(i-1);
+      if ($i == "MB/s")      mbs    = $(i-1);
+    }
+    if (ns == "") next;
+    row = sprintf("  {\"name\":\"%s\",\"ns_op\":%s", name, ns);
+    if (bop    != "") row = row sprintf(",\"b_op\":%s", bop);
+    if (allocs != "") row = row sprintf(",\"allocs_op\":%s", allocs);
+    if (mbs    != "") row = row sprintf(",\"mb_s\":%s", mbs);
+    row = row "}";
+    rows[nrows++] = row;
+  }
+  END {
+    print "[";
+    for (i = 0; i < nrows; i++) printf "%s%s\n", rows[i], (i < nrows-1 ? "," : "");
+    print "]";
+  }
+' "$RAW" > "$JSON"
+
+echo "wrote $(grep -c '"name"' "$JSON" || true) benchmark rows to $JSON" >&2
