@@ -5,10 +5,17 @@
 //
 //	pcgen -profile acl1 -n 2191 -seed 2008 -o rules.txt
 //	pcgen -profile fw1 -n 1000 -trace 50000 -traceout trace.txt
+//	pcgen -profile acl1 -n 2191 -trace 50000 -flows 4096 -burst 16 -traceout trace.txt
 //
 // The ruleset is written in ClassBench format (one '@'-prefixed filter
 // per line); the trace as one "srcIP dstIP srcPort dstPort proto" tuple
 // of decimal values per line.
+//
+// With -flows the trace has flow-level temporal locality: traffic is
+// carried by that many distinct 5-tuples, arriving as packet trains
+// (mean length -burst) with Zipf-skewed flow popularity — the locality
+// the flow cache exploits. Without -flows every packet is sampled
+// independently, as before.
 package main
 
 import (
@@ -29,16 +36,18 @@ func main() {
 		out      = flag.String("o", "-", "ruleset output file (- = stdout)")
 		traceN   = flag.Int("trace", 0, "also generate a packet trace of this length")
 		traceOut = flag.String("traceout", "-", "trace output file (- = stdout)")
+		flows    = flag.Int("flows", 0, "flow-locality trace: number of distinct flows (0 = per-packet sampling)")
+		burst    = flag.Int("burst", 8, "mean packet-train length for -flows traces")
 	)
 	flag.Parse()
 
-	if err := run(*profile, *n, *seed, *out, *traceN, *traceOut); err != nil {
+	if err := run(*profile, *n, *seed, *out, *traceN, *traceOut, *flows, *burst); err != nil {
 		fmt.Fprintln(os.Stderr, "pcgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(profile string, n int, seed int64, out string, traceN int, traceOut string) error {
+func run(profile string, n int, seed int64, out string, traceN int, traceOut string, flows, burst int) error {
 	p, err := classbench.ProfileByName(profile)
 	if err != nil {
 		return err
@@ -58,7 +67,12 @@ func run(profile string, n int, seed int64, out string, traceN int, traceOut str
 	}
 
 	if traceN > 0 {
-		trace := classbench.GenerateTrace(rs, traceN, seed+1)
+		var trace []rule.Packet
+		if flows > 0 {
+			trace = classbench.GenerateFlowTrace(rs, traceN, flows, burst, seed+1)
+		} else {
+			trace = classbench.GenerateTrace(rs, traceN, seed+1)
+		}
 		tw, closeT, err := openOut(traceOut)
 		if err != nil {
 			return err

@@ -13,7 +13,7 @@ func TestRunWritesRulesetAndTrace(t *testing.T) {
 	rulesPath := filepath.Join(dir, "rules.txt")
 	tracePath := filepath.Join(dir, "trace.txt")
 
-	if err := run("acl1", 120, 7, rulesPath, 300, tracePath); err != nil {
+	if err := run("acl1", 120, 7, rulesPath, 300, tracePath, 0, 8); err != nil {
 		t.Fatal(err)
 	}
 
@@ -55,7 +55,35 @@ func TestRunWritesRulesetAndTrace(t *testing.T) {
 }
 
 func TestRunRejectsUnknownProfile(t *testing.T) {
-	if err := run("bogus", 10, 1, "-", 0, "-"); err == nil {
+	if err := run("bogus", 10, 1, "-", 0, "-", 0, 8); err == nil {
 		t.Error("unknown profile accepted")
+	}
+}
+
+func TestRunWritesFlowTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "flowtrace.txt")
+	if err := run("acl1", 80, 7, filepath.Join(dir, "r.txt"), 2000, tracePath, 64, 8); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	trace, err := rule.ReadTrace(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2000 {
+		t.Fatalf("wrote %d packets, want 2000", len(trace))
+	}
+	// Flow locality survives the round trip: bounded distinct headers.
+	distinct := map[rule.Packet]bool{}
+	for _, p := range trace {
+		distinct[p] = true
+	}
+	if len(distinct) > 64 {
+		t.Errorf("%d distinct headers for a 64-flow trace", len(distinct))
 	}
 }

@@ -31,6 +31,7 @@ func main() {
 		sensitivity = flag.Bool("sensitivity", false, "also print the seed-sensitivity study")
 		engineTbl   = flag.Bool("engine", false, "also print host flat-engine throughput (not a paper table)")
 		churn       = flag.Bool("churn", false, "also print classification throughput under sustained rule updates (not a paper table)")
+		cacheTbl    = flag.Bool("cache", false, "also print flow-cache hit-rate/throughput on locality-skewed traces (not a paper table)")
 	)
 	flag.Parse()
 
@@ -43,13 +44,13 @@ func main() {
 		}
 	}
 
-	if err := run(*table, *ablation, *sensitivity, *engineTbl, *churn, opts); err != nil {
+	if err := run(*table, *ablation, *sensitivity, *engineTbl, *churn, *cacheTbl, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pctables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, ablation, sensitivity, engineTbl, churn bool, opts bench.Options) error {
+func run(table int, ablation, sensitivity, engineTbl, churn, cacheTbl bool, opts bench.Options) error {
 	needACL := table == 0 || table == 2 || table == 3 || table == 6 || table == 7 || table == 8
 	var rows []bench.ACL1Row
 	var err error
@@ -106,6 +107,14 @@ func run(table int, ablation, sensitivity, engineTbl, churn bool, opts bench.Opt
 			return err
 		}
 		fmt.Println(bench.ChurnTable(rows).Format())
+	}
+	if cacheTbl {
+		fmt.Fprintln(os.Stderr, "measuring flow-cache throughput on locality-skewed traces...")
+		rows, err := bench.RunFlowCache(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.CacheTable(rows).Format())
 	}
 	if sensitivity {
 		fmt.Fprintln(os.Stderr, "running seed-sensitivity study...")

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/flowcache"
+	"repro/internal/rule"
+)
+
+// Flow-cache measurement: cached vs uncached host throughput on
+// locality-skewed traces (packet trains, Zipf-skewed flow popularity —
+// classbench.GenerateFlowTrace, pcgen -flows), plus the same cached loop
+// under paced control-plane churn, where every update bumps the epoch
+// and invalidates the affected answers. Before any number is reported
+// the cached path is cross-checked packet-exact against the tree, and
+// the post-churn image against a fresh recompile.
+
+// CacheRow is one flow-cache measurement.
+type CacheRow struct {
+	N    int
+	Algo string
+	// Flows/Burst describe the trace: distinct 5-tuples and mean train
+	// length.
+	Flows, Burst int
+
+	// UncachedPPS is single-core engine throughput on the flow trace;
+	// CachedPPS the same loop through the flow cache; SpeedupX the ratio.
+	UncachedPPS, CachedPPS, SpeedupX float64
+	// HitRate is the cache hit rate over the quiescent measurement.
+	HitRate float64
+
+	// ChurnPPS/ChurnHitRate are the cached loop's numbers while a paced
+	// updater applies Updates inserts/deletes (each an epoch bump).
+	ChurnPPS, ChurnHitRate float64
+	Updates                int
+	// StaleEvictions counts entries the churn invalidated and dropped.
+	StaleEvictions uint64
+	// Occupied/Capacity report cache occupancy after the quiescent run.
+	Occupied, Capacity int
+}
+
+// RunFlowCache measures cached vs uncached classification for every
+// ruleset size in opts, for both algorithms.
+func RunFlowCache(opts Options) ([]CacheRow, error) {
+	opts.sanitize()
+	var rows []CacheRow
+	for _, n := range opts.Sizes {
+		rs := classbench.Generate(classbench.ACL1(), n, opts.Seed)
+		flows := n
+		if flows < 256 {
+			flows = 256
+		}
+		trace := classbench.GenerateFlowTrace(rs, opts.TracePackets, flows, 16, opts.Seed+1)
+		inserts := n / 4
+		if inserts > 200 {
+			inserts = 200
+		}
+		if inserts < 20 {
+			inserts = 20
+		}
+		pool := classbench.Generate(classbench.FW1(), inserts, opts.Seed+2)
+		for _, algo := range []core.Algorithm{core.HiCuts, core.HyperCuts} {
+			row, err := runFlowCache(rs, pool, trace, algo, flows)
+			if err != nil {
+				return nil, fmt.Errorf("flow cache %v n=%d: %w", algo, n, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func runFlowCache(rs, pool rule.RuleSet, trace []rule.Packet, algo core.Algorithm, flows int) (CacheRow, error) {
+	row := CacheRow{N: len(rs), Algo: algo.String(), Flows: flows, Burst: 16}
+	tree, err := core.Build(rs, core.DefaultConfig(algo))
+	if err != nil {
+		return row, err
+	}
+	h := engine.NewHandle(engine.Compile(tree))
+	cache := h.EnableCache(4 * flows)
+	out := make([]int32, len(trace))
+
+	// No number leaves this function unverified: the cached path must
+	// agree with the tree packet-exact, cold and warm.
+	for pass := 0; pass < 2; pass++ {
+		for i, p := range trace {
+			if got, want := h.ClassifyCached(p), tree.Classify(p); got != want {
+				return row, fmt.Errorf("pass %d packet %d: cached=%d tree=%d", pass, i, got, want)
+			}
+		}
+	}
+
+	row.UncachedPPS = MeasurePPS(trace, func(t []rule.Packet) {
+		h.Current().Engine().ClassifyBatch(t, out)
+	})
+	st0 := cache.Stats()
+	row.CachedPPS = MeasurePPS(trace, func(t []rule.Packet) {
+		h.ClassifyBatchCached(t, out)
+	})
+	st1 := cache.Stats()
+	row.SpeedupX = row.CachedPPS / row.UncachedPPS
+	row.HitRate = deltaHitRate(st0, st1)
+	row.Occupied, row.Capacity = st1.Occupied, st1.Capacity
+
+	// Churn: a paced updater (one epoch bump per update) runs against the
+	// cached classify loop — the cache must keep most of its hit rate by
+	// dropping exactly the invalidated epoch's entries and repopulating.
+	const churnWindow = 120 * time.Millisecond
+	interval := churnWindow / time.Duration(len(pool))
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	// The goroutine times itself: it starts before the update pacing and
+	// finishes a whole trace pass after close(done), so dividing its
+	// count by the updater's window would overstate the rate.
+	var classified int64
+	var classifyDur time.Duration
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t0 := time.Now()
+		for {
+			select {
+			case <-done:
+				classifyDur = time.Since(t0)
+				return
+			default:
+			}
+			h.ClassifyBatchCached(trace, out)
+			classified += int64(len(trace))
+		}
+	}()
+	st2 := cache.Stats()
+	start := time.Now()
+	next := start
+	updates := 0
+	var updErr error
+	for i := range pool {
+		r := pool[i]
+		r.ID = tree.NumRules()
+		d, err := tree.InsertDelta(r)
+		if err == nil {
+			_, err = h.Apply(d)
+		}
+		if err != nil {
+			updErr = err
+			break
+		}
+		updates++
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if updErr != nil {
+		return row, updErr
+	}
+	st3 := cache.Stats()
+	row.Updates = updates
+	row.ChurnPPS = float64(classified) / classifyDur.Seconds()
+	row.ChurnHitRate = deltaHitRate(st2, st3)
+	row.StaleEvictions = st3.StaleEvictions - st2.StaleEvictions
+
+	// Post-churn, the patched image must equal a fresh recompile, and the
+	// cache must still answer packet-exact.
+	if err := engine.VerifyPatched(trace, h.Current().Engine(), engine.Compile(tree)); err != nil {
+		return row, err
+	}
+	for i, p := range trace[:min(1000, len(trace))] {
+		if got, want := h.ClassifyCached(p), tree.Classify(p); got != want {
+			return row, fmt.Errorf("post-churn packet %d: cached=%d tree=%d", i, got, want)
+		}
+	}
+	return row, nil
+}
+
+func deltaHitRate(before, after flowcache.Stats) float64 {
+	return flowcache.Stats{
+		Hits:   after.Hits - before.Hits,
+		Misses: after.Misses - before.Misses,
+	}.HitRate()
+}
+
+// CacheTable renders the flow-cache measurement.
+func CacheTable(rows []CacheRow) *Table {
+	t := &Table{
+		Title: "Flow cache on locality-skewed traces (exact-match, epoch-invalidated; trains of ~16)",
+		Header: []string{"Rules", "Algorithm", "Flows", "Uncached pps", "Cached pps", "Speedup",
+			"Hit rate", "Churn pps", "Churn hit", "Updates", "Stale", "Occupancy"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			itoa(r.N), r.Algo, itoa(r.Flows),
+			f0(r.UncachedPPS), f0(r.CachedPPS),
+			fmt.Sprintf("%.2fx", r.SpeedupX),
+			fmt.Sprintf("%.3f", r.HitRate),
+			f0(r.ChurnPPS),
+			fmt.Sprintf("%.3f", r.ChurnHitRate),
+			itoa(r.Updates), itoa(int(r.StaleEvictions)),
+			fmt.Sprintf("%d/%d", r.Occupied, r.Capacity),
+		})
+	}
+	return t
+}

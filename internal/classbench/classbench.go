@@ -291,6 +291,54 @@ func GenerateTrace(rs rule.RuleSet, n int, seed int64) []rule.Packet {
 	return trace
 }
 
+// GenerateFlowTrace builds an n-packet trace with flow-level temporal
+// locality: the traffic is carried by a fixed population of `flows`
+// distinct 5-tuple headers (each sampled the way GenerateTrace samples
+// packets: mostly inside Zipf-popular rules, a few random misses), and
+// packets arrive in trains — bursts of identical back-to-back headers
+// with mean length `burst` — from Zipf-skewed flow popularity. This is
+// the packet-train structure of real links (a handful of elephant flows
+// plus a long tail of mice), the locality an exact-match flow cache
+// exploits; GenerateTrace's per-packet sampling has none, so caches see
+// near-zero reuse on it. flows <= 0 defaults to n/16 (min 16); burst <= 0
+// defaults to 8. Generation is fully deterministic given the arguments.
+func GenerateFlowTrace(rs rule.RuleSet, n, flows, burst int, seed int64) []rule.Packet {
+	if flows <= 0 {
+		flows = n / 16
+		if flows < 16 {
+			flows = 16
+		}
+	}
+	if burst <= 0 {
+		burst = 8
+	}
+	rng := rand.New(rand.NewSource(seed*6364136223846793005 + 1442695040888963407))
+
+	// The flow population IS a GenerateTrace draw — one header per flow —
+	// so the per-flow headers follow the same sampling policy (rule
+	// popularity, miss fraction) and the two generators cannot drift
+	// apart; only the arrival process differs.
+	heads := GenerateTrace(rs, flows, seed)
+
+	// Zipf-skewed flow popularity, emitted as trains: pick a flow, emit a
+	// burst of identical headers (length uniform in [1, 2*burst-1], mean
+	// `burst`), repeat. Trains of distinct flows interleave over time the
+	// way packet trains on a shared link do.
+	trace := make([]rule.Packet, 0, n)
+	flowZipf := rand.NewZipf(rng, 1.2, 8, uint64(flows-1))
+	for len(trace) < n {
+		h := heads[int(flowZipf.Uint64())]
+		train := 1 + rng.Intn(2*burst-1)
+		if train > n-len(trace) {
+			train = n - len(trace)
+		}
+		for i := 0; i < train; i++ {
+			trace = append(trace, h)
+		}
+	}
+	return trace
+}
+
 // packetInRule samples a header uniformly inside every field range of r.
 func packetInRule(rng *rand.Rand, r *rule.Rule) rule.Packet {
 	pick := func(d int) uint32 {

@@ -164,3 +164,73 @@ func TestLargeGenerationScales(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFlowTraceDeterministicAndSized(t *testing.T) {
+	rs := Generate(ACL1(), 200, 9)
+	a := GenerateFlowTrace(rs, 5000, 128, 8, 11)
+	b := GenerateFlowTrace(rs, 5000, 128, 8, 11)
+	if len(a) != 5000 {
+		t.Fatalf("trace length %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d differs between identical seeds", i)
+		}
+	}
+	c := GenerateFlowTrace(rs, 5000, 128, 8, 12)
+	same := 0
+	for i := range c {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(c) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// TestFlowTraceLocality pins the two properties the flow cache exploits:
+// a bounded distinct-header population, and packet trains (the next
+// packet usually repeats the previous header).
+func TestFlowTraceLocality(t *testing.T) {
+	rs := Generate(ACL1(), 300, 13)
+	const n, flows, burst = 20000, 256, 8
+	trace := GenerateFlowTrace(rs, n, flows, burst, 14)
+	distinct := map[rule.Packet]bool{}
+	repeats := 0
+	for i, p := range trace {
+		distinct[p] = true
+		if i > 0 && trace[i-1] == p {
+			repeats++
+		}
+	}
+	if len(distinct) > flows {
+		t.Errorf("%d distinct headers exceed the %d-flow population", len(distinct), flows)
+	}
+	if frac := float64(repeats) / float64(n); frac < 0.5 {
+		t.Errorf("train repeat fraction %.2f; packet trains missing", frac)
+	}
+	// Most packets should still match a rule, as with GenerateTrace.
+	matched := 0
+	for _, p := range trace {
+		if rs.Match(p) >= 0 {
+			matched++
+		}
+	}
+	if frac := float64(matched) / float64(n); frac < 0.5 {
+		t.Errorf("only %.2f of flow-trace packets match any rule", frac)
+	}
+}
+
+func TestFlowTraceDefaultsAndEmptyRuleset(t *testing.T) {
+	if got := len(GenerateFlowTrace(nil, 1000, 0, 0, 3)); got != 1000 {
+		t.Fatalf("empty-ruleset flow trace length %d", got)
+	}
+	rs := Generate(IPC1(), 50, 5)
+	if got := len(GenerateFlowTrace(rs, 777, 0, 0, 3)); got != 777 {
+		t.Fatalf("defaulted flow trace length %d", got)
+	}
+	if got := len(GenerateFlowTrace(rs, 100, 1, 1, 3)); got != 100 {
+		t.Fatalf("single-flow unit-burst trace length %d", got)
+	}
+}

@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/flowcache"
+	"repro/internal/rule"
 )
 
 // Snapshot is one published epoch of the flat image: an immutable Engine
@@ -20,7 +23,7 @@ type Snapshot struct {
 func (s *Snapshot) Engine() *Engine { return s.eng }
 
 // Epoch returns the snapshot's version: 0 for the engine a Handle was
-// created with, incremented by every Apply or Swap.
+// created with, incremented by every Apply, ApplyBatch or Swap.
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
 // Handle is the epoch-versioned publication point between one updater
@@ -31,14 +34,22 @@ func (s *Snapshot) Epoch() uint64 { return s.epoch }
 // Readers call Current (a single atomic pointer load — no locks, no
 // reference counting) and classify on the returned snapshot; they
 // observe updates whenever they next call Current. The updater applies
-// tree deltas with Apply, which patches the newest snapshot and installs
-// the result as the next epoch; Swap installs a freshly compiled engine
-// when patch garbage or tree degradation warrants a full rebuild. Apply
-// and Swap serialize on an internal mutex, so the handle is safe for
-// concurrent use from any number of goroutines on both sides.
+// tree deltas with Apply (or a whole burst with ApplyBatch), which
+// patches the newest snapshot and installs the result as the next epoch;
+// Swap installs a freshly compiled engine when patch garbage or tree
+// degradation warrants a full rebuild. Apply, ApplyBatch and Swap
+// serialize on an internal mutex, so the handle is safe for concurrent
+// use from any number of goroutines on both sides.
+//
+// EnableCache attaches a sharded flow cache in front of the snapshot
+// chain; the ...Cached classification methods then serve repeated flows
+// from one hash probe, using the epoch as the invalidation signal (see
+// package flowcache). Without a cache they are exactly the uncached
+// paths, so callers can use them unconditionally.
 type Handle struct {
-	cur atomic.Pointer[Snapshot]
-	mu  sync.Mutex // serializes updaters (Apply/Swap)
+	cur   atomic.Pointer[Snapshot]
+	mu    sync.Mutex // serializes updaters (Apply/ApplyBatch/Swap)
+	cache atomic.Pointer[flowcache.Cache]
 }
 
 // NewHandle publishes e as epoch 0.
@@ -52,14 +63,139 @@ func NewHandle(e *Engine) *Handle {
 // safe to call from any goroutine at any time.
 func (h *Handle) Current() *Snapshot { return h.cur.Load() }
 
+// EnableCache attaches a fresh flow cache with at least entries slots
+// (entries <= 0 selects flowcache.DefaultEntries) and returns it. Safe at
+// any time, including with readers in flight — they observe the cache on
+// their next call. Cached entries are stamped with snapshot epochs, so no
+// flush is ever needed around updates.
+func (h *Handle) EnableCache(entries int) *flowcache.Cache {
+	c := flowcache.New(entries)
+	h.cache.Store(c)
+	return c
+}
+
+// Cache returns the attached flow cache, or nil when caching is disabled.
+func (h *Handle) Cache() *flowcache.Cache { return h.cache.Load() }
+
+// ClassifyCached returns the highest-priority matching rule ID for p, or
+// -1, consulting the flow cache first. The answer is always packet-exact
+// for the epoch it was served at: a hit requires the entry's stamp to
+// equal the snapshot's epoch, and any update bumps the epoch, so entries
+// that could have been invalidated never hit — they fall through to the
+// tree walk and repopulate.
+func (h *Handle) ClassifyCached(p rule.Packet) int {
+	s := h.cur.Load()
+	c := h.cache.Load()
+	if c == nil {
+		return s.eng.Classify(p)
+	}
+	if rid, ok := c.Lookup(p, s.epoch); ok {
+		return int(rid)
+	}
+	rid := s.eng.Classify(p)
+	c.Insert(p, s.epoch, int32(rid))
+	return rid
+}
+
+// ClassifyBatchCached classifies pkts[i] into out[i] through the flow
+// cache, capturing one snapshot for the whole batch (updates land between
+// batches, never mid-batch). It allocates nothing; out must be at least
+// as long as pkts.
+func (h *Handle) ClassifyBatchCached(pkts []rule.Packet, out []int32) {
+	s := h.cur.Load()
+	c := h.cache.Load()
+	if c == nil {
+		s.eng.ClassifyBatch(pkts, out)
+		return
+	}
+	classifyCachedRange(s, c, pkts, out)
+}
+
+func classifyCachedRange(s *Snapshot, c *flowcache.Cache, pkts []rule.Packet, out []int32) {
+	hits := uint64(c.ProbeBatch(pkts, s.epoch, out))
+	misses := uint64(len(pkts)) - hits
+	if misses != 0 {
+		for i := range pkts {
+			if out[i] != flowcache.NoEntry {
+				continue
+			}
+			// Re-probe before walking: an earlier miss in this pass may
+			// have repopulated the flow (packet trains put the same
+			// 5-tuple in one batch many times), and right after an epoch
+			// bump that is the difference between one tree walk per
+			// train and one per packet.
+			if rid, ok := c.Probe(pkts[i], s.epoch); ok {
+				out[i] = rid
+				hits++
+				misses--
+				continue
+			}
+			rid := int32(s.eng.Classify(pkts[i]))
+			c.Insert(pkts[i], s.epoch, rid)
+			out[i] = rid
+		}
+	}
+	// One counter flush per batch keeps the hit path free of
+	// read-modify-writes.
+	c.NoteLookups(hits, misses)
+}
+
+// ParallelClassifyCached shards the batch across up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS), all classifying through the shared
+// sharded flow cache against one snapshot. Aside from the per-call
+// goroutine fan-out it allocates nothing.
+func (h *Handle) ParallelClassifyCached(pkts []rule.Packet, out []int32, workers int) {
+	s := h.cur.Load()
+	c := h.cache.Load()
+	if c == nil {
+		s.eng.ParallelClassify(pkts, out, workers)
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pkts) {
+		workers = len(pkts)
+	}
+	if workers <= 1 {
+		classifyCachedRange(s, c, pkts, out)
+		return
+	}
+	_ = out[:len(pkts)]
+	chunk := (len(pkts) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < len(pkts); start += chunk {
+		end := min(start+chunk, len(pkts))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			classifyCachedRange(s, c, pkts[lo:hi], out[lo:hi])
+		}(start, end)
+	}
+	wg.Wait()
+}
+
 // Apply patches the newest snapshot with d and publishes the result as
 // the next epoch. Readers keep classifying on their captured snapshots
 // throughout; there is no quiescence period and no stall.
 func (h *Handle) Apply(d *core.Delta) (*Snapshot, error) {
+	return h.ApplyBatch([]*core.Delta{d})
+}
+
+// ApplyBatch coalesces a burst of consecutive deltas into one
+// copy-on-write patch (engine.PatchBatch) and one epoch swap. Use it for
+// control-plane update storms: N inserts cost one snapshot publication
+// instead of N, so attached flow caches see one invalidation epoch per
+// burst rather than thrashing once per rule. An empty batch returns the
+// current snapshot unchanged.
+func (h *Handle) ApplyBatch(ds []*core.Delta) (*Snapshot, error) {
+	if len(ds) == 0 {
+		return h.cur.Load(), nil
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	old := h.cur.Load()
-	ne, err := old.eng.Patch(d)
+	ne, err := old.eng.PatchBatch(ds)
 	if err != nil {
 		return nil, err
 	}

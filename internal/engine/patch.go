@@ -33,6 +33,22 @@ import (
 // taken across a core.Tree.Relayout is invalid here (leaf indices move);
 // recompile instead.
 func (e *Engine) Patch(d *core.Delta) (*Engine, error) {
+	return e.PatchBatch([]*core.Delta{d})
+}
+
+// PatchBatch replays a burst of deltas (in order) into one new snapshot
+// with one copy-on-write pass: the leaf table and node array are copied at
+// most once for the whole batch, and a node's kid block is relocated at
+// most once no matter how many deltas repoint its slots. A BGP-style
+// storm of control-plane updates therefore costs one patch and — through
+// Handle.ApplyBatch — one epoch bump instead of one per Insert/Delete,
+// which is what keeps the flow cache from being invalidated per update.
+//
+// The deltas must be consecutive (each taken from the tree state the
+// previous one left) and start at the receiver's state, exactly as if
+// Patch were called once per delta; the result is packet-identical to
+// that chain, minus the intermediate snapshots.
+func (e *Engine) PatchBatch(ds []*core.Delta) (*Engine, error) {
 	ne := &Engine{
 		nodes:         e.nodes,
 		cuts:          e.cuts,
@@ -44,9 +60,41 @@ func (e *Engine) Patch(d *core.Delta) (*Engine, error) {
 		deadRuleSlots: e.deadRuleSlots,
 		deadKidSlots:  e.deadKidSlots,
 	}
+	var st patchState
+	for _, d := range ds {
+		for _, le := range d.LeafEdits {
+			if le.New {
+				st.newLeaves++
+			}
+		}
+	}
+	for _, d := range ds {
+		if err := ne.applyOne(d, &st); err != nil {
+			return nil, err
+		}
+	}
+	return ne, nil
+}
+
+// patchState tracks the copy-on-write work already done for one
+// PatchBatch, so later deltas in the burst reuse it.
+type patchState struct {
+	// newLeaves is the whole batch's leaf-table growth, counted up
+	// front so the one-time copy is sized for every delta's appends.
+	newLeaves    int
+	leavesCopied bool
+	nodesCopied  bool
+	// moved records nodes whose kid block was already relocated to the
+	// arena end this batch; further KidEdits hit the relocated block.
+	moved map[int]bool
+}
+
+// applyOne replays a single delta into ne (the batch's under-construction
+// snapshot), copying shared segments on first touch.
+func (ne *Engine) applyOne(d *core.Delta, st *patchState) error {
 	if d.RuleAppended {
 		if d.AppendedRule.ID != len(ne.rules) {
-			return nil, fmt.Errorf("engine: patch appends rule %d but the image holds %d rules (delta applied out of order?)",
+			return fmt.Errorf("engine: patch appends rule %d but the image holds %d rules (delta applied out of order?)",
 				d.AppendedRule.ID, len(ne.rules))
 		}
 		var fr flatRule
@@ -60,29 +108,26 @@ func (e *Engine) Patch(d *core.Delta) (*Engine, error) {
 	// that referenced it is rewritten below, so the entry is unreachable.
 
 	if len(d.LeafEdits) > 0 {
-		extra := 0
-		for _, le := range d.LeafEdits {
-			if le.New {
-				extra++
-			}
+		if !st.leavesCopied {
+			st.leavesCopied = true
+			leaves := make([]leafRef, len(ne.leaves), len(ne.leaves)+st.newLeaves)
+			copy(leaves, ne.leaves)
+			ne.leaves = leaves
 		}
-		leaves := make([]leafRef, len(e.leaves), len(e.leaves)+extra)
-		copy(leaves, e.leaves)
-		ne.leaves = leaves
 		for _, le := range d.LeafEdits {
 			slot := ne.leafSlot(le.Index)
 			ref := leafRef{off: int32(len(ne.ruleIDs)), n: int32(len(le.Rules))}
 			ne.ruleIDs = append(ne.ruleIDs, le.Rules...)
 			if le.New {
 				if int(slot) != len(ne.leaves) {
-					return nil, fmt.Errorf("engine: patch appends leaf %d but the leaf table holds %d entries (delta applied out of order?)",
+					return fmt.Errorf("engine: patch appends leaf %d but the leaf table holds %d entries (delta applied out of order?)",
 						le.Index, len(ne.leaves))
 				}
 				ne.leaves = append(ne.leaves, ref)
 				continue
 			}
 			if int(slot) >= len(ne.leaves) {
-				return nil, fmt.Errorf("engine: patch edits leaf %d of %d", le.Index, len(ne.leaves))
+				return fmt.Errorf("engine: patch edits leaf %d of %d", le.Index, len(ne.leaves))
 			}
 			ne.deadRuleSlots += int(ne.leaves[slot].n)
 			ne.leaves[slot] = ref
@@ -95,30 +140,35 @@ func (e *Engine) Patch(d *core.Delta) (*Engine, error) {
 	for _, oi := range d.Orphaned {
 		slot := ne.leafSlot(oi)
 		if int(slot) >= len(ne.leaves) {
-			return nil, fmt.Errorf("engine: patch orphans leaf %d of %d", oi, len(ne.leaves))
+			return fmt.Errorf("engine: patch orphans leaf %d of %d", oi, len(ne.leaves))
 		}
 		ne.deadRuleSlots += int(ne.leaves[slot].n)
 	}
 
 	if len(d.KidEdits) > 0 {
-		nodes := make([]node, len(e.nodes))
-		copy(nodes, e.nodes)
-		ne.nodes = nodes
-		moved := make(map[int]bool, 4)
+		if !st.nodesCopied {
+			st.nodesCopied = true
+			nodes := make([]node, len(ne.nodes))
+			copy(nodes, ne.nodes)
+			ne.nodes = nodes
+			st.moved = make(map[int]bool, 4)
+		}
 		for _, ke := range d.KidEdits {
 			if ke.Word < 0 || ke.Word >= len(ne.nodes) {
-				return nil, fmt.Errorf("engine: patch repoints node %d of %d", ke.Word, len(ne.nodes))
+				return fmt.Errorf("engine: patch repoints node %d of %d", ke.Word, len(ne.nodes))
 			}
 			nd := &ne.nodes[ke.Word]
 			if ke.Slot < 0 || int32(ke.Slot) >= nd.kidLen {
-				return nil, fmt.Errorf("engine: patch repoints slot %d of node %d (%d slots)", ke.Slot, ke.Word, nd.kidLen)
+				return fmt.Errorf("engine: patch repoints slot %d of node %d (%d slots)", ke.Slot, ke.Word, nd.kidLen)
 			}
-			if !moved[ke.Word] {
+			if !st.moved[ke.Word] {
 				// Copy-on-write at kid-block granularity: the node's
 				// block is appended to the arena end and the node
 				// repointed; the original block becomes garbage but
-				// stays intact for readers of older snapshots.
-				moved[ke.Word] = true
+				// stays intact for readers of older snapshots. One
+				// relocation per node per batch — later edits in the
+				// burst land in the already-moved block.
+				st.moved[ke.Word] = true
 				off := int32(len(ne.kids))
 				ne.kids = append(ne.kids, ne.kids[nd.kidOff:nd.kidOff+nd.kidLen]...)
 				ne.deadKidSlots += int(nd.kidLen)
@@ -126,12 +176,12 @@ func (e *Engine) Patch(d *core.Delta) (*Engine, error) {
 			}
 			leaf := ne.leafSlot(ke.Leaf)
 			if int(leaf) >= len(ne.leaves) {
-				return nil, fmt.Errorf("engine: patch points slot at leaf %d of %d", ke.Leaf, len(ne.leaves))
+				return fmt.Errorf("engine: patch points slot at leaf %d of %d", ke.Leaf, len(ne.leaves))
 			}
 			ne.kids[nd.kidOff+int32(ke.Slot)] = ^leaf
 		}
 	}
-	return ne, nil
+	return nil
 }
 
 // leafSlot translates a core leaf-table index (core.Tree.Leaves()

@@ -1,0 +1,19 @@
+package flowcache
+
+import (
+	"testing"
+
+	"repro/internal/rule"
+)
+
+func BenchmarkProbeHot(b *testing.B) {
+	c := New(1 << 14)
+	p := rule.Packet{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	c.Insert(p, 7, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Probe(p, 7); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -9,10 +9,14 @@
 //   - build the paper's modified HiCuts/HyperCuts search structure and
 //     run it on the cycle-accurate accelerator model (BuildAccelerator,
 //     Accelerator.Classify / Run);
-//   - update the ruleset live (Accelerator.Insert / Delete) while
-//     software classification keeps running at full rate on lock-free
-//     epoch snapshots (SoftwareEngine, ClassifyStream), with
+//   - update the ruleset live (Accelerator.Insert / Delete, batched as
+//     one epoch via InsertBatch / DeleteBatch) while software
+//     classification keeps running at full rate on lock-free epoch
+//     snapshots (SoftwareEngine, ClassifyStream), with
 //     degradation-triggered background recompaction;
+//   - serve repeated flows from a sharded epoch-invalidated flow cache
+//     (Config.CacheSize, CacheStats) that keeps cached answers
+//     packet-exact under live updates;
 //   - compare against the software baselines the paper uses
 //     (NewSoftwareBaseline);
 //   - regenerate every evaluation table (WriteAllTables).
@@ -33,6 +37,7 @@ import (
 	"repro/internal/classbench"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/flowcache"
 	"repro/internal/hicuts"
 	"repro/internal/hwsim"
 	"repro/internal/hypercuts"
@@ -89,6 +94,15 @@ func GenerateTrace(rs RuleSet, n int, seed int64) []Packet {
 	return classbench.GenerateTrace(rs, n, seed)
 }
 
+// GenerateFlowTrace produces an n-packet trace with flow-level temporal
+// locality: `flows` distinct 5-tuples arriving as packet trains of mean
+// length `burst` with Zipf-skewed flow popularity (the traffic shape the
+// flow cache exploits; see Config.CacheSize). flows <= 0 and burst <= 0
+// select defaults.
+func GenerateFlowTrace(rs RuleSet, n, flows, burst int, seed int64) []Packet {
+	return classbench.GenerateFlowTrace(rs, n, flows, burst, seed)
+}
+
 // Config tunes the accelerator build.
 type Config struct {
 	// Algorithm is HiCuts or HyperCuts (default HyperCuts, the paper's
@@ -108,6 +122,15 @@ type Config struct {
 	// flat image (0 selects DefaultRecompileThreshold; negative
 	// disables auto-recompiles).
 	RecompileThreshold float64
+	// CacheSize, when positive, puts a sharded exact-match flow cache
+	// of (at least) that many entries in front of the software
+	// classification paths (Classify, ClassifyBatch, ClassifyStream):
+	// repeated 5-tuples cost one lock-free hash probe instead of a tree
+	// walk. Entries are stamped with the update epoch, so results stay
+	// packet-exact under live Insert/Delete — every update invalidates
+	// by epoch, and stale entries fall through to the tree and
+	// repopulate. 0 disables caching.
+	CacheSize int
 }
 
 // DefaultRecompileThreshold is the default update-degradation level that
@@ -185,27 +208,78 @@ func BuildAccelerator(rs RuleSet, cfg Config) (*Accelerator, error) {
 	if threshold == 0 {
 		threshold = DefaultRecompileThreshold
 	}
-	return &Accelerator{
+	a := &Accelerator{
 		tree:      tree,
 		sim:       sim,
 		dev:       dev,
 		handle:    engine.NewHandle(engine.Compile(tree)),
 		threshold: threshold,
-	}, nil
+	}
+	if cfg.CacheSize > 0 {
+		a.handle.EnableCache(cfg.CacheSize)
+	}
+	return a, nil
 }
 
 // Classify returns the highest-priority matching rule ID for p, or -1,
 // classifying on the simulated hardware datapath. If updates have grown
 // the structure past what the device memory can hold (see LoadError),
 // the logical tree answers instead — matches stay exact.
+//
+// With Config.CacheSize set, the flow cache is consulted first: a
+// repeated 5-tuple skips both the accelerator lock and the hardware
+// walk. Entries are epoch-stamped, so cached answers are always exactly
+// what the current structure would return.
 func (a *Accelerator) Classify(p Packet) int {
+	c := a.handle.Cache()
+	if c != nil {
+		if rid, ok := c.Lookup(p, a.handle.Current().Epoch()); ok {
+			return int(rid)
+		}
+	}
+	m, epoch := a.classifyLocked(p)
+	if c != nil {
+		c.Insert(p, epoch, int32(m))
+	}
+	return m
+}
+
+// classifyLocked runs the hardware-model walk under the accelerator
+// lock, returning the match and the epoch it is valid for. Under mu the
+// tree cannot change, so the current epoch is exactly the state this
+// answer is computed from — safe to stamp a cache entry with.
+func (a *Accelerator) classifyLocked(p Packet) (int, uint64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	epoch := a.handle.Current().Epoch()
 	if a.ensureSimLocked() != nil {
-		return a.tree.Classify(p)
+		return a.tree.Classify(p), epoch
 	}
-	return a.sim.ClassifyOne(p).Match
+	return a.sim.ClassifyOne(p).Match, epoch
 }
+
+// ClassifyBatch classifies pkts[i] into out[i] on the software fast path
+// (the current epoch's flat engine), through the flow cache when
+// Config.CacheSize is set. It performs zero allocations; out must be at
+// least as long as pkts. Safe for concurrent use, including during
+// Insert/Delete — each batch observes one consistent epoch.
+func (a *Accelerator) ClassifyBatch(pkts []Packet, out []int32) {
+	a.handle.ClassifyBatchCached(pkts, out)
+}
+
+// CacheStats reports the flow cache's counters (hits, misses, stale
+// evictions, occupancy). The zero value is returned when caching is
+// disabled.
+func (a *Accelerator) CacheStats() CacheStats {
+	if c := a.handle.Cache(); c != nil {
+		return c.Stats()
+	}
+	return CacheStats{}
+}
+
+// CacheStats is the flow cache's counter snapshot; see
+// internal/flowcache.Stats for field semantics.
+type CacheStats = flowcache.Stats
 
 // ClassifyDetailed additionally reports the lookup's latency in clock
 // cycles and memory reads. When the device image is unloadable (see
@@ -330,24 +404,78 @@ func (a *Accelerator) Delete(id int) error {
 	return a.applyLocked(d)
 }
 
-// applyLocked replays a tree delta onto the engine snapshot chain, marks
-// the device image stale, and kicks a background recompile when the
-// structure has degraded past the threshold. The tree has already
-// absorbed the update by the time this runs, so a patch failure must not
-// leave the published engine diverged from it: the fallback is an inline
-// full recompile, which resynchronizes unconditionally. The update
-// itself therefore still succeeds, but the failure is recorded — it
-// means every update is paying recompile cost, the exact degradation
-// this pipeline exists to avoid — and PatchError surfaces it.
-func (a *Accelerator) applyLocked(d *core.Delta) error {
-	if _, err := a.handle.Apply(d); err != nil {
-		a.patchErr = fmt.Errorf("repro: delta patch failed (update applied via full recompile): %w", err)
+// InsertBatch adds a burst of rules (IDs must consecutively extend the
+// current rule count) and publishes them as one epoch: the deltas are
+// coalesced into a single copy-on-write patch (engine.Handle.ApplyBatch),
+// so a BGP-style storm of control-plane updates costs one snapshot
+// publication — and one flow-cache invalidation — instead of one per
+// rule. Rules are validated against the tree one by one; on a mid-batch
+// error the already-absorbed prefix is still published (exactly, never
+// lost) and the error reports the failing rule.
+func (a *Accelerator) InsertBatch(rules []Rule) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ds := make([]*core.Delta, 0, len(rules))
+	for i := range rules {
+		d, err := a.tree.InsertDelta(rules[i])
+		if err != nil {
+			if applyErr := a.applyBatchLocked(ds); applyErr != nil {
+				return applyErr
+			}
+			return fmt.Errorf("repro: batch insert %d: %w", i, err)
+		}
+		ds = append(ds, d)
+	}
+	return a.applyBatchLocked(ds)
+}
+
+// DeleteBatch removes a burst of rules by ID as one epoch; see
+// InsertBatch for the coalescing semantics.
+func (a *Accelerator) DeleteBatch(ids []int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ds := make([]*core.Delta, 0, len(ids))
+	for i, id := range ids {
+		d, err := a.tree.DeleteDelta(id)
+		if err != nil {
+			if applyErr := a.applyBatchLocked(ds); applyErr != nil {
+				return applyErr
+			}
+			return fmt.Errorf("repro: batch delete %d (rule %d): %w", i, id, err)
+		}
+		ds = append(ds, d)
+	}
+	return a.applyBatchLocked(ds)
+}
+
+// applyBatchLocked replays a burst of tree deltas onto the engine
+// snapshot chain as one epoch, marks the device image stale, and kicks a
+// background recompile when the structure has degraded past the
+// threshold. The tree has already absorbed the updates by the time this
+// runs, so a patch failure must not leave the published engine diverged
+// from it: the fallback is an inline full recompile, which
+// resynchronizes unconditionally. The updates themselves therefore still
+// succeed, but the failure is recorded — it means updates are paying
+// recompile cost, the exact degradation this pipeline exists to avoid —
+// and PatchError surfaces it.
+func (a *Accelerator) applyBatchLocked(ds []*core.Delta) error {
+	if len(ds) == 0 {
+		return nil
+	}
+	if _, err := a.handle.ApplyBatch(ds); err != nil {
+		a.patchErr = fmt.Errorf("repro: batch delta patch failed (updates applied via full recompile): %w", err)
 		a.recompileLocked()
 		return nil
 	}
 	a.simDirty = true
 	a.maybeRecompileLocked()
 	return nil
+}
+
+// applyLocked replays one tree delta onto the engine snapshot chain; it
+// is applyBatchLocked for a single-delta burst.
+func (a *Accelerator) applyLocked(d *core.Delta) error {
+	return a.applyBatchLocked([]*core.Delta{d})
 }
 
 // PatchError reports the most recent failure of the incremental patch
@@ -491,10 +619,11 @@ const StreamBatch = 4096
 // number of packets classified.
 //
 // Packets are classified in batches of StreamBatch sharded across all
-// cores. Each batch captures the newest epoch snapshot, so a stream
-// served concurrently with Insert/Delete keeps running at full rate —
-// updates land between batches, never mid-batch, and never stall the
-// stream (the lock-free snapshot handle is the only coupling).
+// cores, through the flow cache when Config.CacheSize is set. Each batch
+// captures the newest epoch snapshot, so a stream served concurrently
+// with Insert/Delete keeps running at full rate — updates land between
+// batches, never mid-batch, and never stall the stream (the lock-free
+// snapshot handle is the only coupling).
 func (a *Accelerator) ClassifyStream(r io.Reader, w io.Writer) (int64, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -507,8 +636,9 @@ func (a *Accelerator) ClassifyStream(r io.Reader, w io.Writer) (int64, error) {
 		if len(pkts) == 0 {
 			return nil
 		}
-		eng := a.handle.Current().Engine()
-		eng.ParallelClassify(pkts, out[:len(pkts)], 0)
+		// The cached parallel path falls through to the plain engine
+		// shards when no cache is configured.
+		a.handle.ParallelClassifyCached(pkts, out[:len(pkts)], 0)
 		for _, id := range out[:len(pkts)] {
 			num = strconv.AppendInt(num[:0], int64(id), 10)
 			num = append(num, '\n')

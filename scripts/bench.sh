@@ -7,9 +7,11 @@
 #   benchstat /tmp/old.txt /tmp/new.txt
 #
 # Besides the raw `go test -bench` output on stdout, a machine-readable
-# BENCH_<date>.json (one {name, ns_op, b_op, allocs_op, mb_s} object per
-# benchmark row) is written so the perf trajectory is trackable across
-# PRs without parsing text tables.
+# BENCH_<date>.json (one {name, ns_op, b_op, allocs_op, mb_s, pps,
+# hitrate, occupied, stale} object per benchmark row — the flow-cache
+# rows report cached-vs-uncached pps and the cache's hit rate, occupancy
+# and stale-eviction counters) is written so the perf trajectory is
+# trackable across PRs without parsing text tables.
 #
 # Environment knobs:
 #   BENCH  regex of benchmarks to run (default: engine + build suite)
@@ -36,17 +38,26 @@ go test -run='^$' -bench="$BENCH" -benchmem -count="$COUNT" \
 awk '
   /^Benchmark/ {
     name = $1; ns = ""; bop = ""; allocs = ""; mbs = "";
+    pps = ""; hitrate = ""; occupied = ""; stale = "";
     for (i = 2; i <= NF; i++) {
-      if ($i == "ns/op")     ns     = $(i-1);
-      if ($i == "B/op")      bop    = $(i-1);
-      if ($i == "allocs/op") allocs = $(i-1);
-      if ($i == "MB/s")      mbs    = $(i-1);
+      if ($i == "ns/op")     ns       = $(i-1);
+      if ($i == "B/op")      bop      = $(i-1);
+      if ($i == "allocs/op") allocs   = $(i-1);
+      if ($i == "MB/s")      mbs      = $(i-1);
+      if ($i == "pps")       pps      = $(i-1);
+      if ($i == "hitrate")   hitrate  = $(i-1);
+      if ($i == "occupied")  occupied = $(i-1);
+      if ($i == "stale")     stale    = $(i-1);
     }
     if (ns == "") next;
     row = sprintf("  {\"name\":\"%s\",\"ns_op\":%s", name, ns);
-    if (bop    != "") row = row sprintf(",\"b_op\":%s", bop);
-    if (allocs != "") row = row sprintf(",\"allocs_op\":%s", allocs);
-    if (mbs    != "") row = row sprintf(",\"mb_s\":%s", mbs);
+    if (bop      != "") row = row sprintf(",\"b_op\":%s", bop);
+    if (allocs   != "") row = row sprintf(",\"allocs_op\":%s", allocs);
+    if (mbs      != "") row = row sprintf(",\"mb_s\":%s", mbs);
+    if (pps      != "") row = row sprintf(",\"pps\":%s", pps);
+    if (hitrate  != "") row = row sprintf(",\"hitrate\":%s", hitrate);
+    if (occupied != "") row = row sprintf(",\"occupied\":%s", occupied);
+    if (stale    != "") row = row sprintf(",\"stale\":%s", stale);
     row = row "}";
     rows[nrows++] = row;
   }
