@@ -1,0 +1,127 @@
+package repro
+
+import (
+	"testing"
+)
+
+// TestDeviceWordPatching pins the facade's lazy word-level device
+// rewrite: updates queue their deltas, the next hardware-path use
+// replays them through the simulated write interface (only dirty words),
+// and the patched device memory stays byte-identical to a full
+// re-encode — across plain updates, batches, and the recompile fallback.
+func TestDeviceWordPatching(t *testing.T) {
+	rs, err := GenerateRuleset("acl1", 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := BuildAccelerator(rs, Config{RecompileThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := GenerateTrace(rs, 500, 5)
+	base := acc.DeviceWriteCycles()
+	if base == 0 {
+		t.Fatal("initial load must charge write cycles")
+	}
+
+	pool, err := GenerateRuleset("fw1", 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pool {
+		r := pool[i]
+		r.ID = len(rs) + i
+		if err := acc.Insert(r); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if i%3 == 2 {
+			if err := acc.Delete(len(rs) + i - 1); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+		}
+		if i%10 != 9 {
+			continue
+		}
+		// Touch the hardware path so the queued deltas flush, then
+		// differentially verify the patched image.
+		matches, _ := acc.Run(trace)
+		if err := acc.LoadError(); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		acc.mu.Lock()
+		err := acc.sim.VerifyImage(acc.tree)
+		acc.mu.Unlock()
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		// And the device answers must agree with the software engine.
+		eng := acc.SoftwareEngine()
+		for j, p := range trace {
+			if got := eng.Classify(p); got != matches[j] {
+				t.Fatalf("update %d packet %d: device %d, engine %d", i, j, matches[j], got)
+			}
+		}
+	}
+	grown := acc.DeviceWriteCycles() - base
+	words := acc.Words()
+	if grown <= 0 {
+		t.Fatal("updates charged no write cycles")
+	}
+	// ~80 updates must have cost far less than 80 full reloads.
+	if grown > int64(40*words) {
+		t.Fatalf("word-level patching charged %d cycles over churn; full reloads would be ~%d — not sublinear",
+			grown, 80*words)
+	}
+
+	// The recompile fallback must resynchronize the image wholesale.
+	acc.Recompile()
+	if _, _ = acc.Run(trace); acc.LoadError() != nil {
+		t.Fatal(acc.LoadError())
+	}
+	acc.mu.Lock()
+	err = acc.sim.VerifyImage(acc.tree)
+	acc.mu.Unlock()
+	if err != nil {
+		t.Fatalf("after recompile: %v", err)
+	}
+}
+
+// TestDeviceWordPatchingWithBatches covers the batched update entry
+// points feeding the same lazy queue.
+func TestDeviceWordPatchingWithBatches(t *testing.T) {
+	rs, err := GenerateRuleset("acl1", 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := BuildAccelerator(rs, Config{Algorithm: HiCuts, RecompileThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := GenerateRuleset("ipc1", 40, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Rule, len(pool))
+	for i := range pool {
+		batch[i] = pool[i]
+		batch[i].ID = len(rs) + i
+	}
+	if err := acc.InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{len(rs), len(rs) + 5, len(rs) + 17}
+	if err := acc.DeleteBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	trace := GenerateTrace(rs, 300, 17)
+	acc.Run(trace)
+	if err := acc.LoadError(); err != nil {
+		t.Fatal(err)
+	}
+	acc.mu.Lock()
+	err = acc.sim.VerifyImage(acc.tree)
+	acc.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,23 +2,30 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/classbench"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/hwsim"
 	"repro/internal/rule"
 )
 
 // Update-churn measurement: the paper's §4 live-update story quantified.
 // A classify loop runs on the lock-free snapshot handle while the
 // control plane sustains Insert/Delete churn through the delta/Patch
-// pipeline; the row reports the throughput kept during churn, the cost
-// of one patched update, and — for contrast — what every update used to
+// pipeline — and, since the word-level write path landed, through the
+// simulated device's one-word-per-cycle write interface as well. The row
+// reports the throughput kept during churn, the distribution of
+// per-update cost (mean/p50/p99/max — the sublinear claim is about the
+// tail, not just the average), the device words rewritten per update
+// versus the image size, and — for contrast — what every update used to
 // cost when it forced a full recompile. Before any number is reported
 // the patched engine is cross-checked packet-exact against a fresh
-// recompile (engine.VerifyPatched).
+// recompile (engine.VerifyPatched) and the word-patched device image
+// byte-exact against a full re-encode (hwsim.Sim.VerifyImage).
 
 // ChurnRow is one sustained-update measurement.
 type ChurnRow struct {
@@ -34,8 +41,19 @@ type ChurnRow struct {
 	// UpdatesPerSec is the sustained control-plane rate during churn.
 	UpdatesPerSec float64
 	// PatchMicros is the mean cost of one update end to end (tree delta
-	// + engine patch + epoch swap), in microseconds.
+	// + engine patch + epoch swap + device word writes), in
+	// microseconds. P50/P99/MaxMicros are the distribution of the same
+	// quantity.
 	PatchMicros float64
+	P50Micros   float64
+	P99Micros   float64
+	MaxMicros   float64
+	// ImageWords is the device image size after the churn; DirtyWords
+	// is the mean number of words the write interface rewrote per
+	// update. Sublinearity is DirtyWords staying flat (a handful of
+	// words) while ImageWords grows with the table.
+	ImageWords int
+	DirtyWords float64
 	// RecompileMS is the measured cost of one full engine.Compile of
 	// the post-churn tree — what every single update would have paid on
 	// the old recompile-per-update path.
@@ -69,6 +87,11 @@ func RunUpdateChurn(opts Options) ([]ChurnRow, error) {
 	return rows, nil
 }
 
+// churnDevice is the simulated part the churn rows patch: the ASIC
+// operating point with the pointer field's full 4096-word address space,
+// so large tables still fit while updates grow them.
+var churnDevice = hwsim.Device{Name: "ASIC-65nm-4096w", FreqHz: 226e6, PowerW: 0.01832, MemoryWords: 1 << core.PointerBits}
+
 func runChurn(rs rule.RuleSet, pool rule.RuleSet, trace []rule.Packet, algo core.Algorithm) (ChurnRow, error) {
 	row := ChurnRow{N: len(rs), Algo: algo.String()}
 	tree, err := core.Build(rs, core.DefaultConfig(algo))
@@ -77,6 +100,19 @@ func runChurn(rs rule.RuleSet, pool rule.RuleSet, trace []rule.Packet, algo core
 	}
 	h := engine.NewHandle(engine.Compile(tree))
 	out := make([]int32, len(trace))
+
+	// The simulated device rides along: every delta is also replayed
+	// into its memory image word-by-word, so the row measures the full
+	// §4 update path (tree delta + engine patch + device word writes).
+	img, err := tree.Encode()
+	if err != nil {
+		return row, err
+	}
+	sim, err := hwsim.New(img, churnDevice)
+	if err != nil {
+		return row, err
+	}
+	loadCycles := sim.LoadCycles()
 
 	row.QuiescentPPS = MeasurePPS(trace, func(t []rule.Packet) {
 		h.Current().Engine().ClassifyBatch(t, out)
@@ -110,40 +146,41 @@ func runChurn(rs rule.RuleSet, pool rule.RuleSet, trace []rule.Packet, algo core
 	next := start
 	updates := 0
 	var busy time.Duration
+	durs := make([]time.Duration, 0, planned)
 	var updErr error
-	for i := range pool {
-		r := pool[i]
-		r.ID = tree.NumRules()
+	oneUpdate := func(mutate func() (*core.Delta, error)) bool {
 		t0 := time.Now()
-		d, err := tree.InsertDelta(r)
+		d, err := mutate()
 		if err == nil {
 			_, err = h.Apply(d)
 		}
-		busy += time.Since(t0)
+		if err == nil {
+			_, err = sim.ApplyDelta(tree, d)
+		}
+		el := time.Since(t0)
+		busy += el
 		if err != nil {
 			updErr = err
-			break
+			return false
 		}
+		durs = append(durs, el)
 		updates++
 		next = next.Add(interval)
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
+		return true
+	}
+	for i := range pool {
+		r := pool[i]
+		r.ID = tree.NumRules()
+		if !oneUpdate(func() (*core.Delta, error) { return tree.InsertDelta(r) }) {
+			break
+		}
 		if i%3 == 2 {
-			t0 = time.Now()
-			d, err := tree.DeleteDelta(len(rs) + i - 2)
-			if err == nil {
-				_, err = h.Apply(d)
-			}
-			busy += time.Since(t0)
-			if err != nil {
-				updErr = err
+			id := len(rs) + i - 2
+			if !oneUpdate(func() (*core.Delta, error) { return tree.DeleteDelta(id) }) {
 				break
-			}
-			updates++
-			next = next.Add(interval)
-			if d := time.Until(next); d > 0 {
-				time.Sleep(d)
 			}
 		}
 	}
@@ -157,6 +194,12 @@ func runChurn(rs rule.RuleSet, pool rule.RuleSet, trace []rule.Packet, algo core
 	row.UpdatesPerSec = float64(updates) / churnDur.Seconds()
 	row.PatchMicros = float64(busy.Microseconds()) / float64(updates)
 	row.ChurnPPS = float64(classified) / churnDur.Seconds()
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	row.P50Micros = pctMicros(durs, 0.50)
+	row.P99Micros = pctMicros(durs, 0.99)
+	row.MaxMicros = pctMicros(durs, 1.0)
+	row.ImageWords = tree.Words()
+	row.DirtyWords = float64(sim.LoadCycles()-loadCycles) / float64(updates)
 
 	// What one update used to cost: a full recompile of the tree.
 	start = time.Now()
@@ -164,26 +207,45 @@ func runChurn(rs rule.RuleSet, pool rule.RuleSet, trace []rule.Packet, algo core
 	row.RecompileMS = float64(time.Since(start).Microseconds()) / 1e3
 
 	// No number leaves this function unverified: the patched image must
-	// equal the fresh recompile packet-exact.
+	// equal the fresh recompile packet-exact, and the word-patched
+	// device memory a fresh re-encode byte-exact.
 	if err := engine.VerifyPatched(trace, h.Current().Engine(), fresh); err != nil {
+		return row, err
+	}
+	if err := sim.VerifyImage(tree); err != nil {
 		return row, err
 	}
 	return row, nil
 }
 
+// pctMicros reads the q-quantile of sorted durations, in microseconds.
+func pctMicros(durs []time.Duration, q float64) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(durs)-1))
+	return float64(durs[i].Nanoseconds()) / 1e3
+}
+
 // ChurnTable renders the sustained-update measurement.
 func ChurnTable(rows []ChurnRow) *Table {
 	t := &Table{
-		Title: "Classification under update churn (patched epochs vs recompile-per-update)",
+		Title: "Classification under update churn (patched epochs + word-level device writes vs recompile-per-update)",
 		Header: []string{"Rules", "Algorithm", "Quiescent pps", "Churn pps",
-			"Updates", "Updates/s", "Patch us", "Recompile ms"},
+			"Updates/s", "Patch us", "p50", "p99", "max",
+			"Img words", "Dirty w/upd", "Recompile ms"},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
 			itoa(r.N), r.Algo,
 			f0(r.QuiescentPPS), f0(r.ChurnPPS),
-			itoa(r.Updates), f0(r.UpdatesPerSec),
+			f0(r.UpdatesPerSec),
 			fmt.Sprintf("%.1f", r.PatchMicros),
+			fmt.Sprintf("%.1f", r.P50Micros),
+			fmt.Sprintf("%.1f", r.P99Micros),
+			fmt.Sprintf("%.1f", r.MaxMicros),
+			itoa(r.ImageWords),
+			fmt.Sprintf("%.1f", r.DirtyWords),
 			fmt.Sprintf("%.2f", r.RecompileMS),
 		})
 	}

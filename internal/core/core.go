@@ -243,6 +243,23 @@ type Tree struct {
 	leafIndex map[*Node]int
 	leafRefs  map[*Node]int
 	orphans   int // leafOrder entries with zero references
+
+	// occ is the rule→leaves occupancy index: for every live rule ID,
+	// the set of live leaf-table indices whose rule lists contain it.
+	// It lets DeleteDelta resolve the affected leaves by lookup instead
+	// of scanning every live leaf (O(occupied leaves), not O(table)).
+	// Rebuilt by layout(), maintained by InsertDelta/DeleteDelta;
+	// orphaned leaves are removed the moment they lose their last
+	// reference, so the index never lists dead storage.
+	occ map[int32]map[int32]struct{}
+
+	// leafParents maps each live leaf to the internal words referencing
+	// it (word → referencing-slot count). An internal word's cut
+	// entries embed the (Word, Pos) of leaf children, so when the
+	// incremental repack moves a leaf, exactly these words become dirty
+	// in the encoded image. Rebuilt by layout(), maintained by the
+	// copy-on-write repointing in InsertDelta.
+	leafParents map[*Node]map[int]int
 }
 
 // Config returns the build configuration.

@@ -34,6 +34,51 @@ type Delta struct {
 	// Orphaned lists leaf-table indices that lost their last reference;
 	// they stay allocated (stable indices) until the next full relayout.
 	Orphaned []int
+
+	// FirstDirtyLeaf is the smallest leaf-table index whose packing or
+	// content changed, or -1 when the update touched no leaf storage.
+	// Leaves (and the memory words holding them) strictly before it keep
+	// the layout of the previous epoch, so image patchers can start
+	// their copy/rewrite there instead of at word 0.
+	FirstDirtyLeaf int
+	// DirtyWords lists the half-open memory-word ranges whose encoded
+	// content this update changed, ascending and non-overlapping: the
+	// repacked leaf segments plus one single-word range per repointed
+	// internal node. Replaying the delta into a device image
+	// (Tree.PatchImage, hwsim.Sim.ApplyDelta) rewrites exactly these
+	// words — the paper's §4 claim that an update is a handful of word
+	// writes, not a reload.
+	DirtyWords []WordRange
+	// WordsBefore and WordsAfter are the structure's total word count on
+	// either side of the update; they differ when leaf storage grew past
+	// (or shrank under) a word boundary, telling image holders to extend
+	// or truncate before rewriting dirty words.
+	WordsBefore, WordsAfter int
+}
+
+// WordRange is a half-open [Lo,Hi) range of memory-word indices.
+type WordRange struct {
+	Lo, Hi int
+}
+
+// FirstDirtyWord returns the lowest memory-word index the delta rewrites,
+// or -1 when the update changed no words (a delete of a rule absent from
+// every live leaf).
+func (d *Delta) FirstDirtyWord() int {
+	if len(d.DirtyWords) == 0 {
+		return -1
+	}
+	return d.DirtyWords[0].Lo
+}
+
+// DirtyWordCount returns the number of memory words the delta rewrites —
+// the write-interface cycles the paper's §4 update path charges.
+func (d *Delta) DirtyWordCount() int {
+	n := 0
+	for _, r := range d.DirtyWords {
+		n += r.Hi - r.Lo
+	}
+	return n
 }
 
 // LeafEdit is one leaf's new rule list.
@@ -46,6 +91,14 @@ type LeafEdit struct {
 	New bool
 	// Rules is the leaf's rule IDs after the edit, in priority order.
 	Rules []int32
+	// Keep counts the leading rule slots the edit left bit-identical:
+	// an append changes only the new slot and the previous end flag
+	// (Keep = len-2 of the new list), a removal shifts slots from the
+	// removal point on. When the leaf itself does not move, word-level
+	// image patching starts the rewrite at slot Keep instead of the
+	// leaf's first word — for a 20-word leaf that is the difference
+	// between rewriting 20 words and 1.
+	Keep int
 }
 
 // KidEdit repoints one child slot of an internal node at a leaf.

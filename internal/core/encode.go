@@ -129,10 +129,25 @@ func (t *Tree) encodeLeaf(img *Image, l *Node) error {
 	if n == 0 {
 		return encodeSentinel(img.Words[word], pos)
 	}
+	if t.leafRefs[l] == 0 {
+		// Orphaned leaf: the storage stays allocated (stable layout)
+		// but is unreachable, so it holds sentinel slots — nothing for
+		// a stray comparator to match, and the bytes no longer depend
+		// on rules that later deletes may disable, which keeps
+		// word-patched images byte-identical to full re-encodes.
+		for i := 0; i < n; i++ {
+			encodeSentinel(img.Words[word], pos)
+			if pos++; pos == RulesPerWord {
+				pos = 0
+				word++
+			}
+		}
+		return nil
+	}
 	for i, id := range l.Rules {
-		er, err := EncodeRule(&t.rules[id])
+		er, err := t.encodeRuleSlot(id)
 		if err != nil {
-			return fmt.Errorf("core: rule %d: %w", id, err)
+			return err
 		}
 		er.End = i == n-1
 		er.store(img.Words[word], pos)
@@ -143,6 +158,35 @@ func (t *Tree) encodeLeaf(img *Image, l *Node) error {
 		}
 	}
 	return nil
+}
+
+// encodeRuleSlot encodes rule id for storage in a leaf slot. Rules
+// disabled by DeleteDelta (empty range — they can survive only in
+// orphaned leaves, whose storage stays allocated until Relayout) are
+// stored as sentinel slots: never matched by the comparators, and
+// deterministic so a word-patched image stays byte-identical to a full
+// re-encode.
+func (t *Tree) encodeRuleSlot(id int32) (EncodedRule, error) {
+	r := &t.rules[id]
+	if ruleDisabled(r) {
+		return EncodedRule{ID: SentinelID}, nil
+	}
+	er, err := EncodeRule(r)
+	if err != nil {
+		return er, fmt.Errorf("core: rule %d: %w", id, err)
+	}
+	return er, nil
+}
+
+// ruleDisabled reports whether r was disabled by DeleteDelta: an empty
+// range in any dimension matches nothing.
+func ruleDisabled(r *rule.Rule) bool {
+	for d := 0; d < rule.NumDims; d++ {
+		if r.F[d].Lo > r.F[d].Hi {
+			return true
+		}
+	}
+	return false
 }
 
 func encodeSentinel(w []byte, pos int) error {

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/linear"
+	"repro/internal/rule"
+)
+
+// FuzzInsertDelete drives random insert/delete sequences through the
+// incremental-update pipeline and differentially verifies the result,
+// for both HiCuts and HyperCuts configurations, against:
+//
+//   - the linear reference matcher over the live (non-deleted) rules;
+//   - a fresh Build of the live ruleset (IDs remapped to positions,
+//     matches mapped back);
+//   - a full packLeaves rerun (the incremental repack must have produced
+//     the identical layout);
+//   - a from-scratch occupancy scan (the rule→leaves index must not
+//     drift).
+//
+// Run in CI as a 15s smoke (`go test -fuzz=FuzzInsertDelete`); the seed
+// corpus alone pins the properties in every ordinary `go test` run.
+func FuzzInsertDelete(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, int64(1))
+	f.Add([]byte{1, 1, 1, 1, 255, 254, 253}, int64(2008))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 3, 9, 27}, int64(7))
+	f.Add([]byte{250, 128, 4, 66, 190, 2, 8}, int64(41))
+	f.Fuzz(func(t *testing.T, ops []byte, seed int64) {
+		if len(ops) > 48 {
+			ops = ops[:48]
+		}
+		seed = seed&0xff + 1
+		for _, algo := range []Algorithm{HiCuts, HyperCuts} {
+			rs := classbench.Generate(classbench.ACL1(), 100, seed)
+			pool := classbench.Generate(classbench.FW1(), 48, seed+1)
+			tr, err := Build(rs, DefaultConfig(algo))
+			if err != nil {
+				t.Fatalf("%v: Build: %v", algo, err)
+			}
+			// All rules ever added, by ID; deleted[id] marks removals.
+			all := append(rule.RuleSet{}, rs...)
+			deleted := make(map[int]bool)
+			next := 0
+			for _, b := range ops {
+				if b&1 == 0 && next < len(pool) {
+					r := pool[next]
+					next++
+					r.ID = tr.NumRules()
+					if _, err := tr.InsertDelta(r); err != nil {
+						t.Fatalf("%v: InsertDelta: %v", algo, err)
+					}
+					all = append(all, r)
+				} else {
+					id := int(b>>1) % tr.NumRules()
+					if _, err := tr.DeleteDelta(id); err != nil {
+						t.Fatalf("%v: DeleteDelta(%d): %v", algo, id, err)
+					}
+					deleted[id] = true
+				}
+			}
+
+			// Layout equivalence: a full repack must be a no-op.
+			before := snapshotLayout(tr)
+			tr.packLeaves()
+			after := snapshotLayout(tr)
+			if before.words != after.words {
+				t.Fatalf("%v: incremental words=%d, full repack=%d", algo, before.words, after.words)
+			}
+			for i := range after.word {
+				if before.word[i] != after.word[i] || before.pos[i] != after.pos[i] {
+					t.Fatalf("%v: leaf %d incremental (%d,%d) != full (%d,%d)",
+						algo, i, before.word[i], before.pos[i], after.word[i], after.pos[i])
+				}
+			}
+
+			// Occupancy index equivalence.
+			want := scanOccupancy(tr)
+			if len(tr.occ) != len(want) {
+				t.Fatalf("%v: occupancy index lists %d rules, scan finds %d", algo, len(tr.occ), len(want))
+			}
+			for rid, ws := range want {
+				gs := tr.occ[rid]
+				if len(gs) != len(ws) {
+					t.Fatalf("%v: rule %d: index %d leaves, scan %d", algo, rid, len(gs), len(ws))
+				}
+				for li := range ws {
+					if _, ok := gs[li]; !ok {
+						t.Fatalf("%v: rule %d: scan has leaf %d, index does not", algo, rid, li)
+					}
+				}
+			}
+
+			// Differential classification: live rules only.
+			live := make(rule.RuleSet, 0, len(all))
+			remap := make([]int, 0, len(all)) // new ID -> original ID
+			for id := range all {
+				if deleted[id] {
+					continue
+				}
+				r := all[id]
+				r.ID = len(live)
+				remap = append(remap, id)
+				live = append(live, r)
+			}
+			// Packets are drawn while every rule is still well-formed
+			// (traffic aimed at deleted rules is the interesting case);
+			// the deleted rules are disabled afterwards so the linear
+			// reference never matches them.
+			trace := classbench.GenerateTrace(all, 150, seed+2)
+			lin := linear.New(all)
+			for id := range deleted {
+				all[id].F[rule.DimProto] = rule.Range{Lo: 1, Hi: 0}
+			}
+			fresh, err := Build(live, DefaultConfig(algo))
+			if err != nil {
+				t.Fatalf("%v: fresh Build: %v", algo, err)
+			}
+			for i, p := range trace {
+				got := tr.Classify(p)
+				wantID := lin.Classify(p)
+				if got != wantID {
+					t.Fatalf("%v: packet %d: incremental tree matched %d, linear %d", algo, i, got, wantID)
+				}
+				fm := fresh.Classify(p)
+				if fm >= 0 {
+					fm = remap[fm]
+				}
+				if fm != wantID {
+					t.Fatalf("%v: packet %d: fresh build matched %d, linear %d", algo, i, fm, wantID)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Word-level image patching: the hardware half of the paper's §4 update
+// story. A Delta records exactly which memory words its leaf repack and
+// child repointings changed (Delta.DirtyWords); PatchImage re-encodes
+// only those words from the current tree state, so an update lands in a
+// loaded device image as a handful of word writes instead of a full
+// re-encode. hwsim.Sim.ApplyDelta drives this through the simulated
+// one-word-per-cycle write interface and charges load cycles per dirty
+// word.
+
+// PatchImage applies the dirty-word ranges of one or more consecutive
+// deltas to img, resizing it to the tree's current word count and
+// re-encoding every dirty word from the tree's current state. The deltas
+// must cover the whole update history between the state img was encoded
+// from and the tree's current state, in order (exactly the discipline
+// engine.Patch requires); any word whose content changed across that
+// history is in some delta's dirty set, so re-encoding the union from
+// the final state reproduces a fresh Encode byte for byte. It returns
+// the number of words written — the write-interface cycles the update
+// costs.
+//
+// A delta taken across a Relayout is invalid here (leaf indices and
+// word numbers move); re-encode from scratch instead.
+func (t *Tree) PatchImage(img *Image, ds ...*Delta) (int, error) {
+	if t.cfg.LeafPointers {
+		return 0, fmt.Errorf("core: LeafPointers ablation trees are analytical only and cannot be encoded")
+	}
+	if t.words > 1<<PointerBits {
+		return 0, fmt.Errorf("core: structure needs %d words; the %d-bit pointer field addresses at most %d",
+			t.words, PointerBits, 1<<PointerBits)
+	}
+	if img.NumInternal != len(t.internals) {
+		return 0, fmt.Errorf("core: image has %d internal words, tree has %d (delta across a relayout?)",
+			img.NumInternal, len(t.internals))
+	}
+	// Coalesce the dirty ranges (already per-delta sorted and
+	// non-overlapping; across deltas they may repeat) and clamp to the
+	// final image size: words past it are truncated below and never
+	// rewritten. Cost stays O(dirty ranges), never O(image).
+	var ranges []WordRange
+	for _, d := range ds {
+		for _, r := range d.DirtyWords {
+			if r.Lo >= t.words {
+				continue
+			}
+			if r.Hi > t.words {
+				r.Hi = t.words
+			}
+			ranges = append(ranges, r)
+		}
+	}
+	ranges = mergeWordRanges(ranges)
+	// Resize: grow with zeroed words (they are dirty and re-encoded
+	// below), or truncate storage the structure no longer uses.
+	for len(img.Words) < t.words {
+		img.Words = append(img.Words, make([]byte, WordBytes))
+	}
+	img.Words = img.Words[:t.words]
+	n := 0
+	for _, r := range ranges {
+		n += r.Hi - r.Lo
+	}
+	words := make([]int, 0, n)
+	for _, r := range ranges {
+		for w := r.Lo; w < r.Hi; w++ {
+			words = append(words, w)
+		}
+	}
+	if err := t.EncodeWords(img, words); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// EncodeWords re-encodes the given memory words of img from the tree's
+// current state: each word is zeroed and rebuilt from the internal node
+// or the leaf storage that the current layout places there. The words
+// must lie within the image. It is the word-granular sibling of Encode,
+// used by PatchImage and the simulator's write interface
+// (hwsim.Sim.PatchWords).
+func (t *Tree) EncodeWords(img *Image, words []int) error {
+	if t.cfg.LeafPointers {
+		return fmt.Errorf("core: LeafPointers ablation trees are analytical only and cannot be encoded")
+	}
+	for _, w := range words {
+		if w < 0 || w >= len(img.Words) {
+			return fmt.Errorf("core: encode word %d of %d", w, len(img.Words))
+		}
+		if err := t.encodeWord(img, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeWord rebuilds one memory word in place.
+func (t *Tree) encodeWord(img *Image, w int) error {
+	buf := img.Words[w]
+	for i := range buf {
+		buf[i] = 0
+	}
+	if w < len(t.internals) {
+		return encodeInternal(buf, t.internals[w])
+	}
+	// Leaf storage: the leaf table is packed in ascending (Word, Pos)
+	// order (orphans included — they keep their storage), so both the
+	// start and end words of successive leaves are non-decreasing and
+	// the leaves intersecting w form one contiguous run.
+	lo := sort.Search(len(t.leafOrder), func(i int) bool {
+		return leafEndWord(t.leafOrder[i]) >= w
+	})
+	for i := lo; i < len(t.leafOrder) && t.leafOrder[i].Word <= w; i++ {
+		if err := t.encodeLeafWord(img, t.leafOrder[i], w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// leafEndWord returns the last memory word leaf l's storage occupies.
+func leafEndWord(l *Node) int {
+	n := len(l.Rules)
+	if n == 0 {
+		n = 1
+	}
+	return l.Word + (l.Pos+n-1)/RulesPerWord
+}
+
+// encodeLeafWord stores the slots of leaf l that fall inside memory word
+// target (a leaf may span several words; neighbours sharing a dirty word
+// are re-encoded only within it).
+func (t *Tree) encodeLeafWord(img *Image, l *Node, target int) error {
+	n := len(l.Rules)
+	if n == 0 {
+		if l.Word == target {
+			return encodeSentinel(img.Words[target], l.Pos)
+		}
+		return nil
+	}
+	orphan := t.leafRefs[l] == 0
+	// Skip ahead to the first rule slot inside target.
+	i := 0
+	word, pos := l.Word, l.Pos
+	if target > l.Word {
+		i = (target-l.Word)*RulesPerWord - l.Pos
+		word, pos = target, 0
+	}
+	for ; i < n && word == target; i++ {
+		if orphan {
+			// Dead storage holds sentinels; see encodeLeaf.
+			encodeSentinel(img.Words[word], pos)
+		} else {
+			er, err := t.encodeRuleSlot(l.Rules[i])
+			if err != nil {
+				return err
+			}
+			er.End = i == n-1
+			er.store(img.Words[word], pos)
+		}
+		pos++
+		if pos == RulesPerWord {
+			pos = 0
+			word++
+		}
+	}
+	return nil
+}

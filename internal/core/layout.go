@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/rule"
+import (
+	"sort"
+
+	"repro/internal/rule"
+)
 
 // layout is the full-relayout path: it rearranges nodes into accelerator
 // memory — all internal nodes first (breadth-first, root in word 0), then
@@ -17,6 +21,7 @@ func (t *Tree) layout() error { // error kept for future packing policies
 	// copy-on-write orphan tracking of Insert/Delete.
 	t.leafIndex = map[*Node]int{}
 	t.leafRefs = map[*Node]int{}
+	t.leafParents = map[*Node]map[int]int{}
 	t.orphans = 0
 	seenI := map[*Node]bool{}
 	queue := []*Node{t.Root}
@@ -37,6 +42,7 @@ func (t *Tree) layout() error { // error kept for future packing policies
 					t.leafOrder = append(t.leafOrder, c)
 				}
 				t.leafRefs[c]++
+				t.addParent(c, n.Word)
 				continue
 			}
 			if !seenI[c] {
@@ -45,8 +51,76 @@ func (t *Tree) layout() error { // error kept for future packing policies
 			}
 		}
 	}
+	t.rebuildOccupancy()
 	t.packLeaves()
 	return nil
+}
+
+// rebuildOccupancy reconstructs the rule→leaves index from a scan of the
+// leaf table. Called from layout(), where every leafOrder entry is live.
+func (t *Tree) rebuildOccupancy() {
+	t.occ = make(map[int32]map[int32]struct{}, len(t.rules))
+	for i, l := range t.leafOrder {
+		for _, rid := range l.Rules {
+			t.occAdd(rid, int32(i))
+		}
+	}
+}
+
+// addParent records one more internal word slot referencing leaf c.
+func (t *Tree) addParent(c *Node, word int) {
+	m := t.leafParents[c]
+	if m == nil {
+		m = make(map[int]int, 2)
+		t.leafParents[c] = m
+	}
+	m[word]++
+}
+
+// removeParent drops one internal word slot reference to leaf c.
+func (t *Tree) removeParent(c *Node, word int) {
+	m := t.leafParents[c]
+	if m[word]--; m[word] == 0 {
+		delete(m, word)
+		if len(m) == 0 {
+			delete(t.leafParents, c)
+		}
+	}
+}
+
+// occAdd records that leaf li's rule list contains rid.
+func (t *Tree) occAdd(rid, li int32) {
+	s := t.occ[rid]
+	if s == nil {
+		s = make(map[int32]struct{}, 4)
+		t.occ[rid] = s
+	}
+	s[li] = struct{}{}
+}
+
+// occRemove drops leaf li from rid's occupancy set.
+func (t *Tree) occRemove(rid, li int32) {
+	s := t.occ[rid]
+	delete(s, li)
+	if len(s) == 0 {
+		delete(t.occ, rid)
+	}
+}
+
+// RuleLeaves returns the live leaf-table indices whose rule lists contain
+// rule id, ascending. It is an O(occupied leaves) read of the occupancy
+// index DeleteDelta resolves updates through.
+func (t *Tree) RuleLeaves(id int) []int {
+	s := t.occ[int32(id)]
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(s))
+	for li := range s {
+		out = append(out, int(li))
+	}
+	sort.Ints(out)
+	return out
 }
 
 // packLeaves assigns Word/Pos to every leaf-table entry and recomputes
@@ -60,29 +134,66 @@ func (t *Tree) layout() error { // error kept for future packing policies
 // per word) instead of full 160-bit rules, and a rule table (30 rules per
 // word) is appended after the leaves.
 func (t *Tree) packLeaves() {
-	slots := RulesPerWord
-	if t.cfg.LeafPointers {
-		slots = PointerSlotsPerWord
-	}
+	slots := t.leafSlots()
 	word := len(t.internals)
 	pos := 0
 	for _, l := range t.leafOrder {
-		n := len(l.Rules)
-		if n == 0 {
-			n = 1 // the empty leaf stores one sentinel slot
-		}
-		if t.cfg.Speed == 1 && pos > 0 && pos+n > slots {
-			// Eq. 6: with speed 1 a leaf starts mid-word only if it
-			// fits entirely in the word.
-			word++
-			pos = 0
-		}
-		l.Word = word
-		l.Pos = pos
-		pos += n
-		word += pos / slots
-		pos %= slots
+		word, pos = t.placeLeaf(l, word, pos, slots)
 	}
+	t.recomputeWords()
+	// Structures larger than the pointer field can address are still
+	// useful analytically (paper Table 4 reports sizes well beyond the
+	// 1024-word device); Encode enforces addressability when an actual
+	// memory image is requested.
+}
+
+// placeLeaf assigns l's Word/Pos given the packing cursor and returns the
+// cursor after l. It is the one packing step shared by the full repack
+// and the incremental per-update repack.
+func (t *Tree) placeLeaf(l *Node, word, pos, slots int) (int, int) {
+	n := len(l.Rules)
+	if n == 0 {
+		n = 1 // the empty leaf stores one sentinel slot
+	}
+	if t.cfg.Speed == 1 && pos > 0 && pos+n > slots {
+		// Eq. 6: with speed 1 a leaf starts mid-word only if it
+		// fits entirely in the word.
+		word++
+		pos = 0
+	}
+	l.Word = word
+	l.Pos = pos
+	pos += n
+	word += pos / slots
+	pos %= slots
+	return word, pos
+}
+
+// cursorAfter returns the packing cursor immediately past leaf-table
+// entry i-1 (equivalently, where entry i's placement decision starts) in
+// O(1), derived from the stored layout of the preceding leaf. Valid only
+// when entries before i carry final Word/Pos values.
+func (t *Tree) cursorAfter(i, slots int) (word, pos int) {
+	if i == 0 {
+		return len(t.internals), 0
+	}
+	prev := t.leafOrder[i-1]
+	n := len(prev.Rules)
+	if n == 0 {
+		n = 1
+	}
+	pos = prev.Pos + n
+	word = prev.Word + pos/slots
+	pos %= slots
+	return word, pos
+}
+
+// recomputeWords refreshes the total word count from the last leaf's
+// stored placement (plus the LeafPointers rule table, which grows with
+// the ruleset under inserts even when no leaf moved).
+func (t *Tree) recomputeWords() {
+	slots := t.leafSlots()
+	word, pos := t.cursorAfter(len(t.leafOrder), slots)
 	if pos > 0 {
 		word++
 	}
@@ -91,10 +202,6 @@ func (t *Tree) packLeaves() {
 		word += (len(t.rules) + RulesPerWord - 1) / RulesPerWord
 	}
 	t.words = word
-	// Structures larger than the pointer field can address are still
-	// useful analytically (paper Table 4 reports sizes well beyond the
-	// 1024-word device); Encode enforces addressability when an actual
-	// memory image is requested.
 }
 
 // Internals returns the internal nodes in layout order (root first).

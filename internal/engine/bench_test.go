@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -121,45 +122,56 @@ func BenchmarkEngineCompile(b *testing.B) {
 // Insert delta + engine Patch + epoch publish, immediately followed by
 // the matching Delete (so the working set stays bounded). Compare with
 // BenchmarkEngineCompile — the cost every update paid before deltas.
+//
+// The sub-benchmarks run the identical update mix against a 1,000-rule
+// and a 10,000-rule table: with the incremental leaf repack, the
+// rule→leaves occupancy index and chunk-granular engine copies, per-
+// update cost tracks the edited-leaf count, so the two ns/op figures
+// must stay close (the measured form of the sublinear-update claim;
+// scripts/bench.sh lands both rows in BENCH_<date>.json).
 func BenchmarkPatchUpdate(b *testing.B) {
-	rs := classbench.Generate(classbench.ACL1(), 2000, 2008)
-	pool := classbench.Generate(classbench.FW1(), 2048, 2010)
-	var tree *core.Tree
-	var h *Handle
-	rebuild := func() {
-		var err error
-		tree, err = core.Build(rs, core.DefaultConfig(core.HyperCuts))
-		if err != nil {
-			b.Fatal(err)
-		}
-		h = NewHandle(Compile(tree))
-	}
-	rebuild()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if i%2048 == 0 && i > 0 {
-			// The ruleset slice grows monotonically (IDs are
-			// positional); periodically rebuild outside the timer.
-			b.StopTimer()
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("rules=%d", n), func(b *testing.B) {
+			rs := classbench.Generate(classbench.ACL1(), n, 2008)
+			pool := classbench.Generate(classbench.FW1(), 2048, 2010)
+			var tree *core.Tree
+			var h *Handle
+			rebuild := func() {
+				var err error
+				tree, err = core.Build(rs, core.DefaultConfig(core.HyperCuts))
+				if err != nil {
+					b.Fatal(err)
+				}
+				h = NewHandle(Compile(tree))
+			}
 			rebuild()
-			b.StartTimer()
-		}
-		r := pool[i%len(pool)]
-		r.ID = tree.NumRules()
-		d, err := tree.InsertDelta(r)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := h.Apply(d); err != nil {
-			b.Fatal(err)
-		}
-		d, err = tree.DeleteDelta(r.ID)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := h.Apply(d); err != nil {
-			b.Fatal(err)
-		}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2048 == 0 && i > 0 {
+					// The ruleset slice grows monotonically (IDs are
+					// positional); periodically rebuild outside the timer.
+					b.StopTimer()
+					rebuild()
+					b.StartTimer()
+				}
+				r := pool[i%len(pool)]
+				r.ID = tree.NumRules()
+				d, err := tree.InsertDelta(r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := h.Apply(d); err != nil {
+					b.Fatal(err)
+				}
+				d, err = tree.DeleteDelta(r.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := h.Apply(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -74,6 +74,19 @@ type leafRef struct {
 	n   int32
 }
 
+// The leaf table is stored in fixed-size chunks so Patch can share every
+// chunk the update leaves untouched between snapshots: a patch copies
+// only the chunks containing edited leaf indices (from the delta's first
+// dirty leaf on) plus the chunk directory, making the leaf-table side of
+// an update O(edited chunks), not O(leaves). 256 entries × 8 bytes = 2
+// KiB per chunk keeps the copy cost of one edit trivial while the extra
+// indirection on the classify path is a single additional index split.
+const (
+	leafChunkBits = 8
+	leafChunkLen  = 1 << leafChunkBits
+	leafChunkMask = leafChunkLen - 1
+)
+
 // flatRule is the match form of one rule: closed [lo,hi] per dimension,
 // indexed by rule ID. 40 bytes, so a 30-rule leaf scan touches the same
 // order of memory as one 600-byte hardware word.
@@ -93,12 +106,17 @@ type flatRule struct {
 // replaces the chain (see GarbageRatio). Handle wraps the chain in an
 // atomic, epoch-versioned pointer for lock-free readers.
 type Engine struct {
-	nodes   []node
-	cuts    []cut
-	kids    []int32
-	leaves  []leafRef
-	ruleIDs []int32
-	rules   []flatRule
+	nodes []node
+	cuts  []cut
+	kids  []int32
+	// leaves is the chunked leaf table: entry i lives at
+	// leaves[i>>leafChunkBits][i&leafChunkMask]. Chunks are immutable
+	// once published; Patch copies only the chunks it edits and shares
+	// the rest with the previous snapshot.
+	leaves    [][]leafRef
+	numLeaves int
+	ruleIDs   []int32
+	rules     []flatRule
 
 	// sentinel is the leaf-table index of the compile-time empty-leaf
 	// sentinel inserted for nil child slots, or -1. core.Build never
@@ -125,7 +143,6 @@ func Compile(t *core.Tree) *Engine {
 
 	e := &Engine{
 		nodes:    make([]node, len(internals)),
-		leaves:   make([]leafRef, len(leafNodes), len(leafNodes)+1),
 		rules:    make([]flatRule, len(rs)),
 		sentinel: -1,
 	}
@@ -142,9 +159,10 @@ func Compile(t *core.Tree) *Engine {
 		total += len(l.Rules)
 	}
 	e.ruleIDs = make([]int32, 0, total)
+	flat := make([]leafRef, len(leafNodes), len(leafNodes)+1)
 	for i, l := range leafNodes {
 		leafIdx[l] = int32(i)
-		e.leaves[i] = leafRef{off: int32(len(e.ruleIDs)), n: int32(len(l.Rules))}
+		flat[i] = leafRef{off: int32(len(e.ruleIDs)), n: int32(len(l.Rules))}
 		e.ruleIDs = append(e.ruleIDs, l.Rules...)
 	}
 	// Shared sentinel for nil child slots (core.Build never emits them,
@@ -167,8 +185,8 @@ func Compile(t *core.Tree) *Engine {
 			switch {
 			case c == nil:
 				if emptyLeaf < 0 {
-					emptyLeaf = int32(len(e.leaves))
-					e.leaves = append(e.leaves, leafRef{})
+					emptyLeaf = int32(len(flat))
+					flat = append(flat, leafRef{})
 					e.sentinel = emptyLeaf
 				}
 				ref = ^emptyLeaf
@@ -181,7 +199,27 @@ func Compile(t *core.Tree) *Engine {
 		}
 		e.nodes[w] = nd
 	}
+	e.setLeaves(flat)
 	return e
+}
+
+// setLeaves chunks a flat leaf table into the engine's two-level form.
+// One slab allocation backs all chunks of a fresh compile; patched
+// snapshots replace individual chunks with private copies.
+func (e *Engine) setLeaves(flat []leafRef) {
+	e.numLeaves = len(flat)
+	nch := (len(flat) + leafChunkLen - 1) / leafChunkLen
+	e.leaves = make([][]leafRef, nch)
+	slab := make([]leafRef, nch*leafChunkLen)
+	copy(slab, flat)
+	for i := range e.leaves {
+		e.leaves[i] = slab[i*leafChunkLen : (i+1)*leafChunkLen : (i+1)*leafChunkLen]
+	}
+}
+
+// leafAt returns leaf-table entry i (valid for 0 <= i < numLeaves).
+func (e *Engine) leafAt(i int32) leafRef {
+	return e.leaves[i>>leafChunkBits][i&leafChunkMask]
 }
 
 // Classify returns the highest-priority matching rule ID for p, or -1.
@@ -218,7 +256,8 @@ func (e *Engine) Classify(p rule.Packet) int {
 			ni = ref
 			continue
 		}
-		l := e.leaves[^ref]
+		li := ^ref
+		l := e.leaves[li>>leafChunkBits][li&leafChunkMask]
 		for _, id := range e.ruleIDs[l.off : l.off+l.n] {
 			r := &e.rules[id]
 			if f0 < r.lo[0] || f0 > r.hi[0] ||
@@ -276,7 +315,7 @@ func (e *Engine) ParallelClassify(pkts []rule.Packet, out []int32, workers int) 
 func (e *Engine) NumNodes() int { return len(e.nodes) }
 
 // NumLeaves returns the number of deduplicated leaves.
-func (e *Engine) NumLeaves() int { return len(e.leaves) }
+func (e *Engine) NumLeaves() int { return e.numLeaves }
 
 // NumRules returns the ruleset size.
 func (e *Engine) NumRules() int { return len(e.rules) }
@@ -286,5 +325,5 @@ func (e *Engine) NumRules() int { return len(e.rules) }
 // core.Tree.MemoryBytes).
 func (e *Engine) MemoryBytes() int {
 	return len(e.nodes)*16 + len(e.cuts)*3 + len(e.kids)*4 +
-		len(e.leaves)*8 + len(e.ruleIDs)*4 + len(e.rules)*40
+		len(e.leaves)*(leafChunkLen*8+24) + len(e.ruleIDs)*4 + len(e.rules)*40
 }

@@ -19,10 +19,18 @@ import (
 //     the receiver's length, so readers of older snapshots — whose
 //     offsets all point below it — are never disturbed (this is what
 //     makes the snapshot swap race-detector clean);
-//   - leaves is copied (8 bytes per leaf) when the delta edits any leaf,
-//     and nodes (16 bytes per node) when any child slot is repointed; a
-//     repointed node's whole kid block moves to the arena end rather
-//     than being edited in place.
+//   - the leaf table is chunked (leafChunkLen entries per chunk), and
+//     only the chunks containing edited leaf indices are copied — every
+//     chunk before the delta's first dirty leaf, and every untouched
+//     chunk between edits, is shared with the receiver, so the
+//     leaf-table cost of a patch is O(edited chunks) rather than
+//     O(leaves);
+//   - nodes (16 bytes per node) is copied when any child slot is
+//     repointed (kid edits are the rarest delta component — only
+//     shared-leaf unsharing produces them — and the node array is the
+//     smallest, so a flat copy keeps the two-array traversal hot path
+//     free of further indirection); a repointed node's whole kid block
+//     moves to the arena end rather than being edited in place.
 //
 // Abandoned windows and blocks are counted in deadRuleSlots/deadKidSlots;
 // when GarbageRatio crosses the operator's threshold, a fresh Compile of
@@ -54,6 +62,7 @@ func (e *Engine) PatchBatch(ds []*core.Delta) (*Engine, error) {
 		cuts:          e.cuts,
 		kids:          e.kids,
 		leaves:        e.leaves,
+		numLeaves:     e.numLeaves,
 		ruleIDs:       e.ruleIDs,
 		rules:         e.rules,
 		sentinel:      e.sentinel,
@@ -80,13 +89,70 @@ func (e *Engine) PatchBatch(ds []*core.Delta) (*Engine, error) {
 // PatchBatch, so later deltas in the burst reuse it.
 type patchState struct {
 	// newLeaves is the whole batch's leaf-table growth, counted up
-	// front so the one-time copy is sized for every delta's appends.
-	newLeaves    int
-	leavesCopied bool
-	nodesCopied  bool
+	// front so the one-time chunk-directory copy is sized for every
+	// delta's appends.
+	newLeaves int
+	// dirCopied records that the chunk directory (the outer slice) was
+	// privatized for this batch; individual chunks stay shared until
+	// they are edited.
+	dirCopied bool
+	// privChunks marks chunks already copied (or freshly appended) this
+	// batch; later edits in the burst hit the private copy directly.
+	privChunks  map[int32]bool
+	nodesCopied bool
 	// moved records nodes whose kid block was already relocated to the
 	// arena end this batch; further KidEdits hit the relocated block.
 	moved map[int]bool
+}
+
+// ensureLeafDir privatizes the chunk directory once per batch, with
+// capacity for the whole burst's appends.
+func (ne *Engine) ensureLeafDir(st *patchState) {
+	if st.dirCopied {
+		return
+	}
+	st.dirCopied = true
+	st.privChunks = make(map[int32]bool, 4)
+	need := (ne.numLeaves + st.newLeaves + leafChunkLen - 1) / leafChunkLen
+	if need < len(ne.leaves) {
+		need = len(ne.leaves)
+	}
+	dir := make([][]leafRef, len(ne.leaves), need)
+	copy(dir, ne.leaves)
+	ne.leaves = dir
+}
+
+// leafChunkCOW returns chunk ci of the leaf table, copying it first if
+// this batch has not privatized it yet. This is the dirty-range copy:
+// chunks without edits — in particular everything before the delta's
+// first dirty leaf — are never touched and stay shared with the
+// receiver snapshot.
+func (ne *Engine) leafChunkCOW(st *patchState, ci int32) []leafRef {
+	ne.ensureLeafDir(st)
+	if !st.privChunks[ci] {
+		st.privChunks[ci] = true
+		fresh := make([]leafRef, leafChunkLen)
+		copy(fresh, ne.leaves[ci])
+		ne.leaves[ci] = fresh
+	}
+	return ne.leaves[ci]
+}
+
+// appendLeaf grows the leaf table by one entry, extending the directory
+// with a fresh chunk at chunk boundaries and privatizing the current
+// tail chunk otherwise.
+func (ne *Engine) appendLeaf(st *patchState, ref leafRef) {
+	idx := int32(ne.numLeaves)
+	ci := idx >> leafChunkBits
+	if idx&leafChunkMask == 0 {
+		ne.ensureLeafDir(st)
+		ne.leaves = append(ne.leaves, make([]leafRef, leafChunkLen))
+		st.privChunks[ci] = true
+		ne.leaves[ci][0] = ref
+	} else {
+		ne.leafChunkCOW(st, ci)[idx&leafChunkMask] = ref
+	}
+	ne.numLeaves++
 }
 
 // applyOne replays a single delta into ne (the batch's under-construction
@@ -107,42 +173,36 @@ func (ne *Engine) applyOne(d *core.Delta, st *patchState) error {
 	// A deleted rule needs no rule-table edit: every live leaf window
 	// that referenced it is rewritten below, so the entry is unreachable.
 
-	if len(d.LeafEdits) > 0 {
-		if !st.leavesCopied {
-			st.leavesCopied = true
-			leaves := make([]leafRef, len(ne.leaves), len(ne.leaves)+st.newLeaves)
-			copy(leaves, ne.leaves)
-			ne.leaves = leaves
-		}
-		for _, le := range d.LeafEdits {
-			slot := ne.leafSlot(le.Index)
-			ref := leafRef{off: int32(len(ne.ruleIDs)), n: int32(len(le.Rules))}
-			ne.ruleIDs = append(ne.ruleIDs, le.Rules...)
-			if le.New {
-				if int(slot) != len(ne.leaves) {
-					return fmt.Errorf("engine: patch appends leaf %d but the leaf table holds %d entries (delta applied out of order?)",
-						le.Index, len(ne.leaves))
-				}
-				ne.leaves = append(ne.leaves, ref)
-				continue
+	for _, le := range d.LeafEdits {
+		slot := ne.leafSlot(le.Index)
+		ref := leafRef{off: int32(len(ne.ruleIDs)), n: int32(len(le.Rules))}
+		ne.ruleIDs = append(ne.ruleIDs, le.Rules...)
+		if le.New {
+			if int(slot) != ne.numLeaves {
+				return fmt.Errorf("engine: patch appends leaf %d but the leaf table holds %d entries (delta applied out of order?)",
+					le.Index, ne.numLeaves)
 			}
-			if int(slot) >= len(ne.leaves) {
-				return fmt.Errorf("engine: patch edits leaf %d of %d", le.Index, len(ne.leaves))
-			}
-			ne.deadRuleSlots += int(ne.leaves[slot].n)
-			ne.leaves[slot] = ref
+			ne.appendLeaf(st, ref)
+			continue
 		}
+		if int(slot) >= ne.numLeaves {
+			return fmt.Errorf("engine: patch edits leaf %d of %d", le.Index, ne.numLeaves)
+		}
+		c := ne.leafChunkCOW(st, slot>>leafChunkBits)
+		ne.deadRuleSlots += int(c[slot&leafChunkMask].n)
+		c[slot&leafChunkMask] = ref
 	}
 
 	// Orphaned leaves keep their (stable) table entries but lose their
 	// last reference: their rule windows are unreachable garbage from
-	// this snapshot on.
+	// this snapshot on. Accounting reads the entry in place — orphaning
+	// never copies a chunk.
 	for _, oi := range d.Orphaned {
 		slot := ne.leafSlot(oi)
-		if int(slot) >= len(ne.leaves) {
-			return fmt.Errorf("engine: patch orphans leaf %d of %d", oi, len(ne.leaves))
+		if int(slot) >= ne.numLeaves {
+			return fmt.Errorf("engine: patch orphans leaf %d of %d", oi, ne.numLeaves)
 		}
-		ne.deadRuleSlots += int(ne.leaves[slot].n)
+		ne.deadRuleSlots += int(ne.leafAt(slot).n)
 	}
 
 	if len(d.KidEdits) > 0 {
@@ -175,8 +235,8 @@ func (ne *Engine) applyOne(d *core.Delta, st *patchState) error {
 				nd.kidOff = off
 			}
 			leaf := ne.leafSlot(ke.Leaf)
-			if int(leaf) >= len(ne.leaves) {
-				return fmt.Errorf("engine: patch points slot at leaf %d of %d", ke.Leaf, len(ne.leaves))
+			if int(leaf) >= ne.numLeaves {
+				return fmt.Errorf("engine: patch points slot at leaf %d of %d", ke.Leaf, ne.numLeaves)
 			}
 			ne.kids[nd.kidOff+int32(ke.Slot)] = ^leaf
 		}

@@ -1,0 +1,90 @@
+package hwsim
+
+import (
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+)
+
+// FuzzPatchWords drives arbitrary insert/delete churn through the
+// word-level device-write path (Sim.ApplyDelta) and requires the
+// patched memory image to stay byte-identical to a full re-encode of
+// the tree after every step — the differential verification of the
+// paper's §4 claim that an update is a handful of word writes. Deltas
+// are applied one by one or accumulated into bursts (the lazy batching
+// repro.Accelerator uses), driven by the fuzzed op stream.
+//
+// Run in CI as a 15s smoke (`go test -fuzz=FuzzPatchWords`); the seed
+// corpus alone exercises the path in every ordinary `go test` run.
+func FuzzPatchWords(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, int64(1))
+	f.Add([]byte{1, 3, 5, 7, 9, 250, 251, 252}, int64(2008))
+	f.Add([]byte{0, 0, 2, 2, 4, 4, 128, 130, 132}, int64(61))
+	f.Fuzz(func(t *testing.T, ops []byte, seed int64) {
+		if len(ops) > 40 {
+			ops = ops[:40]
+		}
+		seed = seed&0xff + 1
+		for _, algo := range []core.Algorithm{core.HiCuts, core.HyperCuts} {
+			rs := classbench.Generate(classbench.ACL1(), 120, seed)
+			pool := classbench.Generate(classbench.FW1(), 40, seed+1)
+			tree, err := core.Build(rs, core.DefaultConfig(algo))
+			if err != nil {
+				t.Fatalf("%v: Build: %v", algo, err)
+			}
+			img, err := tree.Encode()
+			if err != nil {
+				t.Fatalf("%v: Encode: %v", algo, err)
+			}
+			dev := Device{Name: "fuzz-4096w", FreqHz: 1e6, PowerW: 1, MemoryWords: 1 << core.PointerBits}
+			sim, err := New(img, dev)
+			if err != nil {
+				t.Fatalf("%v: New: %v", algo, err)
+			}
+			next := 0
+			var batch []*core.Delta
+			cycles := sim.LoadCycles()
+			for _, b := range ops {
+				var d *core.Delta
+				if b&1 == 0 && next < len(pool) {
+					r := pool[next]
+					next++
+					r.ID = tree.NumRules()
+					if d, err = tree.InsertDelta(r); err != nil {
+						t.Fatalf("%v: InsertDelta: %v", algo, err)
+					}
+				} else {
+					id := int(b>>1) % tree.NumRules()
+					if d, err = tree.DeleteDelta(id); err != nil {
+						t.Fatalf("%v: DeleteDelta(%d): %v", algo, id, err)
+					}
+				}
+				batch = append(batch, d)
+				if b&2 != 0 {
+					continue // accumulate a burst, apply later
+				}
+				written, err := sim.ApplyDelta(tree, batch...)
+				if err != nil {
+					t.Fatalf("%v: ApplyDelta: %v", algo, err)
+				}
+				batch = batch[:0]
+				if got := sim.LoadCycles(); got != cycles+int64(written) {
+					t.Fatalf("%v: LoadCycles %d, want %d+%d", algo, got, cycles, written)
+				}
+				cycles += int64(written)
+				if err := sim.VerifyImage(tree); err != nil {
+					t.Fatalf("%v: after op: %v", algo, err)
+				}
+			}
+			if len(batch) > 0 {
+				if _, err := sim.ApplyDelta(tree, batch...); err != nil {
+					t.Fatalf("%v: final ApplyDelta: %v", algo, err)
+				}
+				if err := sim.VerifyImage(tree); err != nil {
+					t.Fatalf("%v: final: %v", algo, err)
+				}
+			}
+		}
+	})
+}

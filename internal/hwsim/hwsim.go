@@ -41,6 +41,7 @@
 package hwsim
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/core"
@@ -104,6 +105,12 @@ type Sim struct {
 
 	// regA caches the decoded root node (register A).
 	regA core.NodeWord
+
+	// loadCycles counts the cycles spent on the write interface so far:
+	// the initial full load plus one cycle per word rewritten by
+	// ApplyDelta/PatchWords (the paper's §4 update path charges only the
+	// dirty words, not a reload).
+	loadCycles int64
 }
 
 // New loads the encoded image into a simulated accelerator. The load
@@ -119,12 +126,83 @@ func New(img *core.Image, dev Device) (*Sim, error) {
 	}
 	s := &Sim{img: img, dev: dev}
 	s.regA = core.LoadNode(img.Words[0]) // Reset: root -> register A
+	s.loadCycles = int64(len(img.Words)) + 1
 	return s, nil
 }
 
-// LoadCycles is the number of cycles the write interface needs to store
-// the search structure (one word per cycle) plus the root transfer.
-func (s *Sim) LoadCycles() int64 { return int64(len(s.img.Words)) + 1 }
+// LoadCycles is the cumulative cycle count of the write interface: the
+// initial structure load (one word per cycle plus the root transfer) and
+// every word written since by the incremental update path. With deltas
+// applied word-by-word, sustained updates charge cycles proportional to
+// the words they dirty — not to the structure size.
+func (s *Sim) LoadCycles() int64 { return s.loadCycles }
+
+// Image returns the loaded memory image (the simulator's live device
+// memory — treat as read-only; use ApplyDelta/PatchWords to modify it).
+func (s *Sim) Image() *core.Image { return s.img }
+
+// ApplyDelta replays one or more consecutive update deltas into the
+// device memory word-by-word through the write interface: only the words
+// the deltas dirtied are rewritten (core.Tree.PatchImage), and
+// LoadCycles is charged one cycle per written word. t must be the tree
+// the deltas were taken from, in its current (post-update) state; the
+// deltas must cover the whole history since the image was last written,
+// in order. This is the hardware half of the paper's §4 update story —
+// the control-plane processor patches the off-chip copy and pushes just
+// the changed words to the accelerator.
+//
+// On error (the structure outgrew the device, or a delta is invalid for
+// this image) the image may hold a partial rewrite; reload with a full
+// re-encode, exactly as a real control plane would.
+func (s *Sim) ApplyDelta(t *core.Tree, ds ...*core.Delta) (int, error) {
+	if t.Words() > s.dev.Capacity() {
+		return 0, fmt.Errorf("hwsim: updated structure needs %d words; %s holds %d",
+			t.Words(), s.dev.Name, s.dev.Capacity())
+	}
+	n, err := t.PatchImage(s.img, ds...)
+	if err != nil {
+		return n, err
+	}
+	// Internal-node cut headers are invariant under incremental updates,
+	// so the cached register A (masks/shifts of word 0) stays valid even
+	// when word 0's cut entries were repointed.
+	s.loadCycles += int64(n)
+	return n, nil
+}
+
+// PatchWords rewrites the given memory words from the tree's current
+// state, one word per cycle through the write interface. It is the raw
+// write port under ApplyDelta, exposed for callers that track dirty
+// words themselves. The words must lie within the current image (use
+// ApplyDelta when the structure's word count changed).
+func (s *Sim) PatchWords(t *core.Tree, words []int) (int, error) {
+	if err := t.EncodeWords(s.img, words); err != nil {
+		return 0, err
+	}
+	s.loadCycles += int64(len(words))
+	return len(words), nil
+}
+
+// VerifyImage cross-checks the (possibly word-patched) device memory
+// against a full re-encode of the tree, byte for byte. It is the
+// hardware-image analogue of engine.VerifyPatched: the update-churn
+// benchmark and the differential tests run it before trusting any number
+// produced from a patched image.
+func (s *Sim) VerifyImage(t *core.Tree) error {
+	fresh, err := t.Encode()
+	if err != nil {
+		return fmt.Errorf("hwsim: verify re-encode: %w", err)
+	}
+	if len(fresh.Words) != len(s.img.Words) {
+		return fmt.Errorf("hwsim: patched image has %d words, fresh encode %d", len(s.img.Words), len(fresh.Words))
+	}
+	for i := range fresh.Words {
+		if !bytes.Equal(fresh.Words[i], s.img.Words[i]) {
+			return fmt.Errorf("hwsim: word %d of patched image differs from fresh encode", i)
+		}
+	}
+	return nil
+}
 
 // Result is the outcome of classifying one packet.
 type Result struct {

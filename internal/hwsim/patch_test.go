@@ -1,0 +1,128 @@
+package hwsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+)
+
+// buildPatchSim returns a loaded simulator plus its tree for the
+// word-level write-path tests.
+func buildPatchSim(t *testing.T, n int, dev Device) (*Sim, *core.Tree, int) {
+	t.Helper()
+	rs := classbench.Generate(classbench.ACL1(), n, 51)
+	tree, err := core.Build(rs, core.DefaultConfig(core.HyperCuts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := tree.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(img, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, tree, len(rs)
+}
+
+// TestPatchWordsWriteInterface drives the raw word-write port: rewriting
+// explicitly named words charges exactly one load cycle per word and
+// reproduces a fresh encode when the dirty words are taken from a delta.
+func TestPatchWordsWriteInterface(t *testing.T) {
+	sim, tree, n := buildPatchSim(t, 300, ASIC)
+	if sim.Device().Name != ASIC.Name {
+		t.Fatalf("Device()=%q", sim.Device().Name)
+	}
+	if sim.Image() == nil || len(sim.Image().Words) != tree.Words() {
+		t.Fatal("Image() must expose the loaded memory")
+	}
+	r := classbench.Generate(classbench.FW1(), 1, 53)[0]
+	r.ID = n
+	d, err := tree.InsertDelta(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Words() != d.WordsBefore {
+		t.Skip("structure resized; PatchWords covers the fixed-size case")
+	}
+	var words []int
+	for _, wr := range d.DirtyWords {
+		for w := wr.Lo; w < wr.Hi; w++ {
+			words = append(words, w)
+		}
+	}
+	before := sim.LoadCycles()
+	wrote, err := sim.PatchWords(tree, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote != len(words) || sim.LoadCycles() != before+int64(len(words)) {
+		t.Fatalf("wrote %d words, cycles %d -> %d; want %d words at one cycle each",
+			wrote, before, sim.LoadCycles(), len(words))
+	}
+	if err := sim.VerifyImage(tree); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range words must be rejected.
+	if _, err := sim.PatchWords(tree, []int{tree.Words() + 5}); err == nil {
+		t.Fatal("PatchWords out of range must error")
+	}
+}
+
+// TestApplyDeltaCapacity checks the device-capacity guard: when churn
+// grows the structure past the device's words, ApplyDelta refuses (the
+// control plane must fall back to a rebuild for a bigger part).
+func TestApplyDeltaCapacity(t *testing.T) {
+	sim, tree, n := buildPatchSim(t, 300, ASIC)
+	tiny := Device{Name: "tiny", FreqHz: 1e6, PowerW: 1, MemoryWords: tree.Words()}
+	sim2, err := New(sim.Image(), tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := classbench.Generate(classbench.FW1(), 64, 55)
+	grew := false
+	for i := range pool {
+		r := pool[i]
+		r.ID = n + i
+		d, err := tree.InsertDelta(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Words() > tiny.Capacity() {
+			if _, err := sim2.ApplyDelta(tree, d); err == nil ||
+				!strings.Contains(err.Error(), "holds") {
+				t.Fatalf("over-capacity ApplyDelta: err=%v", err)
+			}
+			grew = true
+			break
+		}
+		if _, err := sim2.ApplyDelta(tree, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !grew {
+		t.Fatal("churn never outgrew the device; capacity guard untested")
+	}
+}
+
+// TestVerifyImageDetectsDivergence corrupts the patched image and
+// expects VerifyImage to name the problem, both for content and size.
+func TestVerifyImageDetectsDivergence(t *testing.T) {
+	sim, tree, _ := buildPatchSim(t, 200, ASIC)
+	if err := sim.VerifyImage(tree); err != nil {
+		t.Fatal(err)
+	}
+	w := len(sim.Image().Words) - 1
+	sim.Image().Words[w][7] ^= 0xFF
+	if err := sim.VerifyImage(tree); err == nil || !strings.Contains(err.Error(), "differs") {
+		t.Fatalf("corrupted word: err=%v", err)
+	}
+	sim.Image().Words[w][7] ^= 0xFF
+	sim.img.Words = sim.img.Words[:w]
+	if err := sim.VerifyImage(tree); err == nil || !strings.Contains(err.Error(), "words") {
+		t.Fatalf("truncated image: err=%v", err)
+	}
+}

@@ -145,19 +145,32 @@ const DefaultRecompileThreshold = 0.25
 // All methods are safe for concurrent use. The update path models the
 // paper's §4 control plane: Insert and Delete patch the off-chip tree
 // copy, replay the structured delta onto the flat software image
-// (engine.Patch — no recompile), and mark the simulated device memory
-// for lazy rewrite. Software classification (SoftwareEngine,
+// (engine.Patch — no recompile), and queue the delta for a lazy
+// word-level rewrite of the simulated device memory (only the words the
+// update dirtied go through the one-word-per-cycle write interface; see
+// DeviceWriteCycles). Software classification (SoftwareEngine,
 // ClassifyStream) reads lock-free epoch snapshots and keeps running at
 // full rate during updates; when Degradation or the engine's
 // GarbageRatio crosses Config.RecompileThreshold, a background rebuild
 // compacts the structure and swaps it in as the next epoch.
 type Accelerator struct {
-	mu       sync.Mutex // guards tree, sim, simDirty, simErr
-	tree     *core.Tree
-	sim      *hwsim.Sim
-	dev      hwsim.Device
-	simDirty bool  // tree changed since the device memory was written
-	simErr   error // last failed device rewrite (structure outgrew device)
+	mu   sync.Mutex // guards tree, sim, simPending, simFull, simErr
+	tree *core.Tree
+	sim  *hwsim.Sim
+	dev  hwsim.Device
+	// simPending queues update deltas awaiting lazy replay into the
+	// device memory word-by-word (hwsim.Sim.ApplyDelta — the paper's §4
+	// write path: only the words an update dirtied are rewritten).
+	simPending []*core.Delta
+	// simFull forces the next device rewrite to be a full re-encode:
+	// set by recompiles (deltas do not survive a Relayout) and by any
+	// failed word-level patch.
+	simFull bool
+	simErr  error // last failed device rewrite (structure outgrew device)
+	// simPriorWrites accumulates the write cycles of device images that
+	// were since replaced by full re-encodes, so DeviceWriteCycles
+	// stays cumulative across recompiles.
+	simPriorWrites int64
 
 	handle    *engine.Handle
 	threshold float64
@@ -381,8 +394,9 @@ func (a *Accelerator) DeviceName() string { return a.dev.Name }
 // off-chip copy of the structure absorbs the change, the resulting delta
 // is patched onto the flat software image as the next lock-free epoch
 // (no recompile — readers keep classifying throughout), and the
-// simulated device memory is rewritten lazily on its next use. Safe for
-// concurrent use; updates serialize against each other.
+// simulated device memory is patched lazily on its next use — word by
+// word through the write interface, charging only the dirty words. Safe
+// for concurrent use; updates serialize against each other.
 func (a *Accelerator) Insert(r Rule) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -467,7 +481,11 @@ func (a *Accelerator) applyBatchLocked(ds []*core.Delta) error {
 		a.recompileLocked()
 		return nil
 	}
-	a.simDirty = true
+	if !a.simFull {
+		// Queue for the word-level device rewrite; dropped if anything
+		// forces a full re-encode first.
+		a.simPending = append(a.simPending, ds...)
+	}
 	a.maybeRecompileLocked()
 	return nil
 }
@@ -558,7 +576,10 @@ func (a *Accelerator) Recompile() {
 func (a *Accelerator) recompileLocked() {
 	a.tree.Relayout()
 	a.handle.Swap(engine.Compile(a.tree))
-	a.simDirty = true
+	// Relayout moves leaf indices and word numbers, so queued deltas
+	// are invalid for the device image: full re-encode on next use.
+	a.simFull = true
+	a.simPending = nil
 	a.degFloor = a.tree.Degradation()
 }
 
@@ -567,14 +588,31 @@ func (a *Accelerator) recompileLocked() {
 // needs it.
 func (a *Accelerator) WaitMaintenance() { a.maint.Wait() }
 
-// ensureSimLocked rewrites the simulated device memory if updates have
-// made it stale, recording (and returning) the load error when the
-// structure no longer fits the device.
+// ensureSimLocked brings the simulated device memory up to date with the
+// tree, recording (and returning) the load error when the structure no
+// longer fits the device.
+//
+// The fast path replays the queued update deltas word-by-word through
+// the device's write interface (hwsim.Sim.ApplyDelta): each update costs
+// the handful of words it dirtied, not a re-encode of the table. A full
+// re-encode remains the fallback — after a recompile (deltas do not
+// survive a Relayout), after a failed patch (capacity or an unencodable
+// rule), or while recovering from an earlier load error.
 func (a *Accelerator) ensureSimLocked() error {
-	if !a.simDirty {
+	if !a.simFull && len(a.simPending) == 0 {
 		return a.simErr
 	}
-	a.simDirty = false
+	if !a.simFull && a.simErr == nil && a.sim != nil {
+		if _, err := a.sim.ApplyDelta(a.tree, a.simPending...); err == nil {
+			a.simPending = nil
+			return nil
+		}
+		// The word-level patch failed (typically the structure outgrew
+		// the device mid-write); fall through to the full re-encode,
+		// which rebuilds the image from scratch unconditionally.
+	}
+	a.simFull = false
+	a.simPending = nil
 	img, err := a.tree.Encode()
 	if err != nil {
 		a.simErr = fmt.Errorf("repro: updated structure not encodable: %w", err)
@@ -585,9 +623,30 @@ func (a *Accelerator) ensureSimLocked() error {
 		a.simErr = err
 		return a.simErr
 	}
+	if a.sim != nil {
+		// The replaced image's write interface really spent these
+		// cycles; keep DeviceWriteCycles cumulative across re-encodes.
+		a.simPriorWrites += a.sim.LoadCycles()
+	}
 	a.sim = sim
 	a.simErr = nil
 	return nil
+}
+
+// DeviceWriteCycles reports the cumulative cycles the simulated device's
+// write interface has spent: every structure load (including full
+// re-encodes after recompiles) plus one cycle per word rewritten by the
+// incremental update path (hwsim §4 model). Updates applied since the
+// last hardware-path use may still be queued; this flushes them first,
+// so the figure reflects every applied update.
+func (a *Accelerator) DeviceWriteCycles() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ensureSimLocked()
+	if a.sim == nil {
+		return a.simPriorWrites
+	}
+	return a.simPriorWrites + a.sim.LoadCycles()
 }
 
 // Engine is the flat software classification engine: the accelerator's

@@ -8,10 +8,13 @@
 #
 # Besides the raw `go test -bench` output on stdout, a machine-readable
 # BENCH_<date>.json (one {name, ns_op, b_op, allocs_op, mb_s, pps,
-# hitrate, occupied, stale} object per benchmark row — the flow-cache
-# rows report cached-vs-uncached pps and the cache's hit rate, occupancy
-# and stale-eviction counters) is written so the perf trajectory is
-# trackable across PRs without parsing text tables.
+# hitrate, occupied, stale, dirtywords, imgwords} object per benchmark
+# row — the flow-cache rows report cached-vs-uncached pps and the
+# cache's hit rate, occupancy and stale-eviction counters; the
+# PatchUpdate/PatchWords rows at 1k and 10k rules record the
+# sublinear-update claim: ns_op and dirtywords must track the edited
+# leaves, not imgwords) is written so the perf trajectory is trackable
+# across PRs without parsing text tables.
 #
 # Environment knobs:
 #   BENCH  regex of benchmarks to run (default: engine + build suite)
@@ -31,7 +34,7 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run='^$' -bench="$BENCH" -benchmem -count="$COUNT" \
-  -benchtime="$TIME" ./internal/engine/ | tee "$RAW"
+  -benchtime="$TIME" ./internal/engine/ ./internal/hwsim/ | tee "$RAW"
 
 # Parse `BenchmarkName-P  N  X ns/op [Y MB/s] [Z B/op  W allocs/op] ...`
 # rows into a JSON array. Pure awk: no jq dependency in the container.
@@ -39,15 +42,18 @@ awk '
   /^Benchmark/ {
     name = $1; ns = ""; bop = ""; allocs = ""; mbs = "";
     pps = ""; hitrate = ""; occupied = ""; stale = "";
+    dirtywords = ""; imgwords = "";
     for (i = 2; i <= NF; i++) {
-      if ($i == "ns/op")     ns       = $(i-1);
-      if ($i == "B/op")      bop      = $(i-1);
-      if ($i == "allocs/op") allocs   = $(i-1);
-      if ($i == "MB/s")      mbs      = $(i-1);
-      if ($i == "pps")       pps      = $(i-1);
-      if ($i == "hitrate")   hitrate  = $(i-1);
-      if ($i == "occupied")  occupied = $(i-1);
-      if ($i == "stale")     stale    = $(i-1);
+      if ($i == "ns/op")      ns         = $(i-1);
+      if ($i == "B/op")       bop        = $(i-1);
+      if ($i == "allocs/op")  allocs     = $(i-1);
+      if ($i == "MB/s")       mbs        = $(i-1);
+      if ($i == "pps")        pps        = $(i-1);
+      if ($i == "hitrate")    hitrate    = $(i-1);
+      if ($i == "occupied")   occupied   = $(i-1);
+      if ($i == "stale")      stale      = $(i-1);
+      if ($i == "dirtywords") dirtywords = $(i-1);
+      if ($i == "imgwords")   imgwords   = $(i-1);
     }
     if (ns == "") next;
     row = sprintf("  {\"name\":\"%s\",\"ns_op\":%s", name, ns);
@@ -58,6 +64,8 @@ awk '
     if (hitrate  != "") row = row sprintf(",\"hitrate\":%s", hitrate);
     if (occupied != "") row = row sprintf(",\"occupied\":%s", occupied);
     if (stale    != "") row = row sprintf(",\"stale\":%s", stale);
+    if (dirtywords != "") row = row sprintf(",\"dirtywords\":%s", dirtywords);
+    if (imgwords   != "") row = row sprintf(",\"imgwords\":%s", imgwords);
     row = row "}";
     rows[nrows++] = row;
   }
