@@ -36,21 +36,23 @@ func main() {
 	flag.Parse()
 
 	opts := bench.Options{Seed: *seed, TracePackets: *trace}
+	ablN := 1500
 	if *quick {
 		opts.Sizes = []int{60, 150, 500, 1000}
 		opts.Table4Sizes = []int{300, 1200, 2500}
+		ablN = 600
 		if *trace == 20000 {
 			opts.TracePackets = 5000
 		}
 	}
 
-	if err := run(*table, *ablation, *sensitivity, *engineTbl, *churn, *cacheTbl, opts); err != nil {
+	if err := run(*table, *ablation, *sensitivity, *engineTbl, *churn, *cacheTbl, ablN, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pctables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, ablation, sensitivity, engineTbl, churn, cacheTbl bool, opts bench.Options) error {
+func run(table int, ablation, sensitivity, engineTbl, churn, cacheTbl bool, ablN int, opts bench.Options) error {
 	needACL := table == 0 || table == 2 || table == 3 || table == 6 || table == 7 || table == 8
 	var rows []bench.ACL1Row
 	var err error
@@ -86,7 +88,7 @@ func run(table int, ablation, sensitivity, engineTbl, churn, cacheTbl bool, opts
 	}
 	if ablation {
 		fmt.Fprintln(os.Stderr, "measuring ablations...")
-		ab, err := bench.RunAblations(opts, 1500)
+		ab, err := bench.RunAblations(opts, ablN)
 		if err != nil {
 			return err
 		}

@@ -5,7 +5,9 @@ import (
 
 	"repro/internal/classbench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hwsim"
+	"repro/internal/rule"
 	"repro/internal/sa1100"
 )
 
@@ -30,6 +32,11 @@ type AblationResult struct {
 	// Pipelining: cycles/packet with the root-overlap (measured) and
 	// without (sum of unpipelined latencies).
 	OverlapCyc, NoOverlapCyc float64
+
+	// Leaf-scan layout on the host engine: the SoA comparator bank
+	// (paper's 30 parallel comparators, software twin) vs the AoS
+	// early-exit scan, packets/sec on the same engine and trace.
+	SoALeafPPS, AoSLeafPPS float64
 }
 
 // RunAblations measures all four ablations on an acl1 ruleset of size n.
@@ -122,6 +129,19 @@ func RunAblations(opts Options, n int) (AblationResult, error) {
 		latSum += int64(sim.ClassifyOne(p).LatencyCycles)
 	}
 	res.NoOverlapCyc = float64(latSum) / float64(len(trace))
+
+	// Leaf-scan layout: the same flat engine classified through the SoA
+	// comparator bank and through the AoS early-exit scan,
+	// differentially checked packet-exact before timing.
+	eng := engine.Compile(tr)
+	for i, p := range trace {
+		if got, want := eng.Classify(p), eng.ClassifyAoS(p); got != want {
+			return res, fmt.Errorf("ablation n=%d: packet %d: soa=%d aos=%d", n, i, got, want)
+		}
+	}
+	out := make([]int32, len(trace))
+	res.AoSLeafPPS = MeasurePPS(trace, func(t []rule.Packet) { eng.ClassifyBatchAoS(t, out) })
+	res.SoALeafPPS = MeasurePPS(trace, func(t []rule.Packet) { eng.ClassifyBatch(t, out) })
 	return res, nil
 }
 
@@ -162,5 +182,9 @@ func AblationTable(r AblationResult) *Table {
 		fmt.Sprintf("overlap: %.3f", r.OverlapCyc),
 		fmt.Sprintf("none: %.3f", r.NoOverlapCyc),
 		"one cycle hidden per packet")
+	add("leaf-scan layout (host engine pps)",
+		fmt.Sprintf("soa bank: %.2fM", r.SoALeafPPS/1e6),
+		fmt.Sprintf("aos scan: %.2fM", r.AoSLeafPPS/1e6),
+		fmt.Sprintf("%.2fx", r.SoALeafPPS/r.AoSLeafPPS))
 	return t
 }

@@ -86,6 +86,122 @@ func BenchmarkEngineParallelClassify(b *testing.B) {
 	b.ReportMetric(float64(b.N)*float64(len(big))/b.Elapsed().Seconds(), "pkts/s")
 }
 
+// BenchmarkClassifyBatchACL10k is the tentpole's headline measurement:
+// the batched classify path on an ACL1 ruleset at 10k rules, with the
+// structure-of-arrays comparator-bank leaf scan (soa) against the
+// array-of-structs early-exit scan (aos). scripts/bench.sh lands both
+// rows in BENCH_<date>.json, so the layout ablation is tracked across
+// PRs next to the throughput trajectory.
+func BenchmarkClassifyBatchACL10k(b *testing.B) {
+	rs := classbench.Generate(classbench.ACL1(), 10000, 2008)
+	tree, err := core.Build(rs, core.DefaultConfig(core.HyperCuts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := Compile(tree)
+	trace := classbench.GenerateTrace(rs, 4096, 2009)
+	out := make([]int32, len(trace))
+	for _, v := range []struct {
+		name string
+		fn   func([]rule.Packet, []int32)
+	}{{"aos", eng.ClassifyBatchAoS}, {"soa", eng.ClassifyBatch}} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.fn(trace, out)
+			}
+			b.ReportMetric(float64(b.N)*float64(len(trace))/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
+// BenchmarkLeafScan isolates the leaf-match stage on real workload: ACL1
+// packets are bucketed by the size of the leaf window their walk lands
+// in, and each bucket's scans run through the AoS early-exit loop and
+// the SoA comparator bank (walks precomputed, so the rows measure only
+// the scan kernels on real windows, real match depths and real
+// branch-predictor pressure). The acceptance bar is soa at parity on
+// small windows and measurably faster from 8 rules up.
+func BenchmarkLeafScan(b *testing.B) {
+	rs := classbench.Generate(classbench.ACL1(), 10000, 2008)
+	tree, err := core.Build(rs, core.DefaultConfig(core.HyperCuts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := Compile(tree)
+
+	type scanCase struct {
+		l leafRef
+		f [rule.NumDims]uint32
+	}
+	buckets := map[int][]scanCase{}
+	bucketOf := func(n int32) int {
+		for _, hi := range []int32{4, 8, 16, 32, 64, 128} {
+			if n <= hi {
+				return int(hi)
+			}
+		}
+		return 256
+	}
+	// Each bucket needs enough distinct cases that the branch predictor
+	// cannot memorize the AoS loop's per-case outcomes across bench
+	// iterations (which would flatter AoS far beyond line-rate reality),
+	// so keep drawing trace batches until the buckets fill or the trace
+	// budget runs out.
+	const wantCases = 4096
+	for seed, drawn := int64(2009), 0; drawn < 1<<21; seed++ {
+		trace := classbench.GenerateTrace(rs, 1<<17, seed)
+		drawn += len(trace)
+		full := true
+		for _, p := range trace {
+			f := [rule.NumDims]uint32{p.SrcIP, p.DstIP, uint32(p.SrcPort), uint32(p.DstPort), uint32(p.Proto)}
+			l := eng.walk(&f)
+			if l.n == 0 {
+				continue
+			}
+			bk := bucketOf(l.n)
+			if len(buckets[bk]) < wantCases {
+				buckets[bk] = append(buckets[bk], scanCase{l, f})
+			}
+		}
+		for _, hi := range []int{32, 64, 128} {
+			if len(buckets[hi]) < wantCases {
+				full = false
+			}
+		}
+		if full {
+			break
+		}
+	}
+	for _, hi := range []int{4, 8, 16, 32, 64, 128, 256} {
+		cases := buckets[hi]
+		if len(cases) < 64 {
+			continue // this ruleset has no populated windows in the bucket
+		}
+		for ci := range cases {
+			c := &cases[ci]
+			if got, want := eng.scanLeaf(c.l, &c.f), eng.aosScanLeaf(c.l, &c.f); got != want {
+				b.Fatalf("leafsize<=%d case %d: soa=%d aos=%d", hi, ci, got, want)
+			}
+		}
+		b.Run(fmt.Sprintf("aos/leafsize=%d", hi), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := &cases[i%len(cases)]
+				eng.aosScanLeaf(c.l, &c.f)
+			}
+		})
+		b.Run(fmt.Sprintf("soa/leafsize=%d", hi), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := &cases[i%len(cases)]
+				eng.scanLeaf(c.l, &c.f)
+			}
+		})
+	}
+}
+
 // Build benchmarks: sequential vs pooled parallel construction.
 
 func benchBuild(b *testing.B, algo core.Algorithm, workers int) {

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+	"repro/internal/flowcache"
+	"repro/internal/rule"
+)
+
+// Stats reconciliation for the cached parallel path: the lock-free hit
+// path defers all hit/miss accounting to one NoteLookups flush per
+// sub-batch, so an early exit or a lost flush anywhere in the
+// shard/re-probe protocol would silently undercount. These tests pin
+// the conservation laws against ground-truth probe counts:
+//
+//   - every packet presented to a ...Cached path is tallied exactly
+//     once: Hits + Misses == packets presented;
+//   - every miss walks the engine and repopulates: Inserts == Misses;
+//   - stale drops are a subset of misses: StaleEvictions <= Misses.
+
+func cacheStatsHandle(t *testing.T) (*Handle, *core.Tree, []rule.Packet) {
+	t.Helper()
+	rs := classbench.Generate(classbench.ACL1(), 400, 51)
+	tree, err := core.Build(rs, core.DefaultConfig(core.HyperCuts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandle(Compile(tree))
+	h.EnableCache(1 << 12)
+	trace := classbench.GenerateFlowTrace(rs, 20000, 700, 12, 52)
+	return h, tree, trace
+}
+
+func reconcile(t *testing.T, c *flowcache.Cache, presented uint64) {
+	t.Helper()
+	s := c.Stats()
+	if got := s.Hits + s.Misses; got != presented {
+		t.Fatalf("hits(%d) + misses(%d) = %d lookups accounted, %d packets presented (undercount %d)",
+			s.Hits, s.Misses, got, presented, int64(presented)-int64(got))
+	}
+	if s.Inserts != s.Misses {
+		t.Fatalf("inserts %d != misses %d: some miss did not repopulate (or a flush double-counted)", s.Inserts, s.Misses)
+	}
+	if s.StaleEvictions > s.Misses {
+		t.Fatalf("stale evictions %d exceed misses %d", s.StaleEvictions, s.Misses)
+	}
+	if s.Hits == 0 {
+		t.Fatal("locality trace produced no cache hits; the test is not exercising the hit path")
+	}
+}
+
+// TestCacheStatsReconcileParallel drives ParallelClassifyCached across
+// worker counts and epoch bumps (inserts between batches) and checks the
+// totals equal the ground-truth probe counts, with results verified
+// against the uncached engine every round.
+func TestCacheStatsReconcileParallel(t *testing.T) {
+	h, tree, trace := cacheStatsHandle(t)
+	pool := classbench.Generate(classbench.FW1(), 64, 53)
+	out := make([]int32, len(trace))
+	want := make([]int32, len(trace))
+	var presented uint64
+	for round := 0; round < 12; round++ {
+		workers := []int{1, 2, 3, 8, 16}[round%5]
+		h.ParallelClassifyCached(trace, out, workers)
+		presented += uint64(len(trace))
+		h.Current().Engine().ClassifyBatch(trace, want)
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("round %d packet %d: cached=%d engine=%d", round, i, out[i], want[i])
+			}
+		}
+		if round%3 == 2 {
+			r := pool[round/3]
+			r.ID = tree.NumRules()
+			d, err := tree.InsertDelta(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := h.Apply(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	reconcile(t, h.Cache(), presented)
+}
+
+// TestCacheStatsReconcileConcurrent repeats the reconciliation with
+// several goroutines classifying through the shared cache at once
+// (mixing the batch and parallel paths), so torn seqlock reads, re-probe
+// races and concurrent inserts all happen while the books are kept.
+func TestCacheStatsReconcileConcurrent(t *testing.T) {
+	h, _, trace := cacheStatsHandle(t)
+	const (
+		goroutines = 6
+		rounds     = 8
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]int32, len(trace))
+			for r := 0; r < rounds; r++ {
+				if g%2 == 0 {
+					h.ParallelClassifyCached(trace, out, 4)
+				} else {
+					h.ClassifyBatchCached(trace, out)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	reconcile(t, h.Cache(), uint64(goroutines*rounds*len(trace)))
+}

@@ -20,9 +20,12 @@
 //   - Leaf rule IDs are packed, in priority order, into one shared
 //     []int32 pool (the rules-in-leaf storage of §3; deduplicated leaves
 //     keep their sharing, so the pool is the software twin of the leaf
-//     words). The 160-bit encoded rules become a flat []flatRule array
-//     indexed by rule ID, scanned with five unrolled range compares — the
-//     software stand-in for the 30 parallel comparators.
+//     words). The rules' bounds are stored twice: as a flat []flatRule
+//     array indexed by rule ID (the update path's source of truth and
+//     the AoS ablation baseline), and as structure-of-arrays
+//     per-dimension lo/hi arenas in pool order — the software comparator
+//     bank (soa.go) the leaf scan sweeps with branch-free blocked
+//     compares, the stand-in for the 30 parallel comparators.
 //
 // Traversal therefore never chases a Go pointer: it walks int32 indices
 // through three flat arrays, computing child indexes with the identical
@@ -41,6 +44,7 @@
 package engine
 
 import (
+	"math/bits"
 	"runtime"
 	"sync"
 
@@ -95,6 +99,13 @@ type flatRule struct {
 	hi [rule.NumDims]uint32
 }
 
+// The ten-compare bounds check appears expanded in three scan loops
+// (scanLeaf's peel and verify, aosScanLeaf) instead of as a flatRule
+// method: at cost 100 it exceeds the inliner's budget of 80, and the
+// resulting call per scanned rule costs the AoS paths ~25% of their
+// throughput. The SoA differential tests (soa_test.go) pin all copies
+// to identical behaviour.
+
 // Engine is a flat, immutable, pointer-free classification engine. All
 // methods are safe for concurrent use.
 //
@@ -117,6 +128,12 @@ type Engine struct {
 	numLeaves int
 	ruleIDs   []int32
 	rules     []flatRule
+	// soa holds the leaf windows' rule bounds as per-dimension arenas in
+	// ruleIDs order — the software comparator bank the leaf scan sweeps
+	// (see soa.go). Like ruleIDs it is an append-only arena: Patch
+	// appends rewritten windows past the receiver's length, so the
+	// arenas are shared between snapshots exactly like the pool.
+	soa soaBank
 
 	// sentinel is the leaf-table index of the compile-time empty-leaf
 	// sentinel inserted for nil child slots, or -1. core.Build never
@@ -159,11 +176,16 @@ func Compile(t *core.Tree) *Engine {
 		total += len(l.Rules)
 	}
 	e.ruleIDs = make([]int32, 0, total)
+	for d := 0; d < rule.NumDims; d++ {
+		e.soa.lo[d] = make([]uint32, 0, total)
+		e.soa.hi[d] = make([]uint32, 0, total)
+	}
 	flat := make([]leafRef, len(leafNodes), len(leafNodes)+1)
 	for i, l := range leafNodes {
 		leafIdx[l] = int32(i)
 		flat[i] = leafRef{off: int32(len(e.ruleIDs)), n: int32(len(l.Rules))}
 		e.ruleIDs = append(e.ruleIDs, l.Rules...)
+		e.soa.appendWindow(e.rules, l.Rules)
 	}
 	// Shared sentinel for nil child slots (core.Build never emits them,
 	// but compiled input is not required to come from Build alone).
@@ -200,6 +222,7 @@ func Compile(t *core.Tree) *Engine {
 		e.nodes[w] = nd
 	}
 	e.setLeaves(flat)
+	e.soa.computeOrder()
 	return e
 }
 
@@ -223,21 +246,105 @@ func (e *Engine) leafAt(i int32) leafRef {
 }
 
 // Classify returns the highest-priority matching rule ID for p, or -1.
-// It allocates nothing.
+// It allocates nothing. The leaf scan runs on the structure-of-arrays
+// comparator bank (soa.go): five contiguous per-dimension sweeps over the
+// window's bounds, branch-free, with the first set mask bit as the match
+// — the software twin of the accelerator's 30 parallel comparators.
+// ClassifyAoS is the array-of-structs fallback kept for the ablation.
 func (e *Engine) Classify(p rule.Packet) int {
-	f0 := p.SrcIP
-	f1 := p.DstIP
-	f2 := uint32(p.SrcPort)
-	f3 := uint32(p.DstPort)
-	f4 := uint32(p.Proto)
+	f := [rule.NumDims]uint32{p.SrcIP, p.DstIP, uint32(p.SrcPort), uint32(p.DstPort), uint32(p.Proto)}
+	l := e.walk(&f)
+	return e.scanLeaf(l, &f)
+}
+
+// scanLeaf resolves a leaf window to its highest-priority match.
+//
+// The peel (peelLen: the whole window when short, the first soaPeel
+// slots otherwise) runs the AoS early-exit compare: Zipf-popular rules
+// are the high-priority ones, so roughly half of all scans end in the
+// window's first slot, where the bank's block setup can't be
+// amortized. The remainder runs the comparator bank as a prefilter —
+// per block, one or two branch-free sweeps of the most selective
+// dimensions produce a candidate mask, and only surviving slots are
+// verified against their full bounds, in mask-bit (priority) order.
+// Deep scans therefore cost ~one compare per slot with no
+// data-dependent branches, where the AoS loop pays a mispredict per
+// rule.
+func (e *Engine) scanLeaf(l leafRef, f *[rule.NumDims]uint32) int {
+	peel := peelLen(l.n)
+	for _, id := range e.ruleIDs[l.off : l.off+peel] {
+		r := &e.rules[id]
+		if f[0] >= r.lo[0] && f[0] <= r.hi[0] &&
+			f[1] >= r.lo[1] && f[1] <= r.hi[1] &&
+			f[2] >= r.lo[2] && f[2] <= r.hi[2] &&
+			f[3] >= r.lo[3] && f[3] <= r.hi[3] &&
+			f[4] >= r.lo[4] && f[4] <= r.hi[4] {
+			return int(id)
+		}
+	}
+	end := l.off + l.n
+	width := int32(scanBlockLen)
+	for base := l.off + peel; base < end; {
+		bl := end - base
+		if bl > width {
+			bl = width
+		}
+		for m := e.soa.candidates(base, bl, f); m != 0; m &= m - 1 {
+			id := e.ruleIDs[base+int32(bits.TrailingZeros64(m))]
+			r := &e.rules[id]
+			if f[0] >= r.lo[0] && f[0] <= r.hi[0] &&
+				f[1] >= r.lo[1] && f[1] <= r.hi[1] &&
+				f[2] >= r.lo[2] && f[2] <= r.hi[2] &&
+				f[3] >= r.lo[3] && f[3] <= r.hi[3] &&
+				f[4] >= r.lo[4] && f[4] <= r.hi[4] {
+				return int(id)
+			}
+		}
+		base += bl
+		width = scanTailLen
+	}
+	return -1
+}
+
+// ClassifyAoS is Classify with the array-of-structs leaf scan: one rule
+// at a time over []flatRule with early exit. It is the portable baseline
+// the SoA comparator bank is ablated against (bench.RunAblations,
+// BenchmarkLeafScan) and the differential oracle of the SoA tests; the
+// two are packet-identical by construction and by test.
+func (e *Engine) ClassifyAoS(p rule.Packet) int {
+	f := [rule.NumDims]uint32{p.SrcIP, p.DstIP, uint32(p.SrcPort), uint32(p.DstPort), uint32(p.Proto)}
+	return e.aosScanLeaf(e.walk(&f), &f)
+}
+
+// aosScanLeaf is the array-of-structs window scan: one rule at a time
+// with early exit, the counterpart of scanLeaf's peel+bank split.
+func (e *Engine) aosScanLeaf(l leafRef, f *[rule.NumDims]uint32) int {
+	for _, id := range e.ruleIDs[l.off : l.off+l.n] {
+		r := &e.rules[id]
+		if f[0] >= r.lo[0] && f[0] <= r.hi[0] &&
+			f[1] >= r.lo[1] && f[1] <= r.hi[1] &&
+			f[2] >= r.lo[2] && f[2] <= r.hi[2] &&
+			f[3] >= r.lo[3] && f[3] <= r.hi[3] &&
+			f[4] >= r.lo[4] && f[4] <= r.hi[4] {
+			return int(id)
+		}
+	}
+	return -1
+}
+
+// walk runs the internal-node traversal — the identical mask/shift/add
+// datapath the accelerator implements — and returns the leaf window the
+// packet lands in. Shared by the SoA and AoS classify paths, so the two
+// differ only in the leaf-scan kernel.
+func (e *Engine) walk(f *[rule.NumDims]uint32) leafRef {
 	// The hardware's register B: the top 8 bits of every field, computed
 	// once per packet instead of once per cut evaluation.
 	var t8 [rule.NumDims]uint8
-	t8[0] = uint8(f0 >> 24)
-	t8[1] = uint8(f1 >> 24)
-	t8[2] = uint8(f2 >> 8)
-	t8[3] = uint8(f3 >> 8)
-	t8[4] = uint8(f4)
+	t8[0] = uint8(f[0] >> 24)
+	t8[1] = uint8(f[1] >> 24)
+	t8[2] = uint8(f[2] >> 8)
+	t8[3] = uint8(f[3] >> 8)
+	t8[4] = uint8(f[4])
 
 	ni := int32(0)
 	for {
@@ -257,19 +364,7 @@ func (e *Engine) Classify(p rule.Packet) int {
 			continue
 		}
 		li := ^ref
-		l := e.leaves[li>>leafChunkBits][li&leafChunkMask]
-		for _, id := range e.ruleIDs[l.off : l.off+l.n] {
-			r := &e.rules[id]
-			if f0 < r.lo[0] || f0 > r.hi[0] ||
-				f1 < r.lo[1] || f1 > r.hi[1] ||
-				f2 < r.lo[2] || f2 > r.hi[2] ||
-				f3 < r.lo[3] || f3 > r.hi[3] ||
-				f4 < r.lo[4] || f4 > r.hi[4] {
-				continue
-			}
-			return int(id)
-		}
-		return -1
+		return e.leaves[li>>leafChunkBits][li&leafChunkMask]
 	}
 }
 
@@ -279,6 +374,15 @@ func (e *Engine) ClassifyBatch(pkts []rule.Packet, out []int32) {
 	_ = out[:len(pkts)] // bounds check once; panics if out is short
 	for i := range pkts {
 		out[i] = int32(e.Classify(pkts[i]))
+	}
+}
+
+// ClassifyBatchAoS is ClassifyBatch over the array-of-structs leaf scan
+// (see ClassifyAoS); the ablation's measurement surface.
+func (e *Engine) ClassifyBatchAoS(pkts []rule.Packet, out []int32) {
+	_ = out[:len(pkts)]
+	for i := range pkts {
+		out[i] = int32(e.ClassifyAoS(pkts[i]))
 	}
 }
 
@@ -321,9 +425,10 @@ func (e *Engine) NumLeaves() int { return e.numLeaves }
 func (e *Engine) NumRules() int { return len(e.rules) }
 
 // MemoryBytes returns the engine's flat-image footprint: the node, cut,
-// child, leaf and rule arrays (the software counterpart of
-// core.Tree.MemoryBytes).
+// child, leaf and rule arrays plus the SoA comparator-bank arenas (the
+// software counterpart of core.Tree.MemoryBytes).
 func (e *Engine) MemoryBytes() int {
 	return len(e.nodes)*16 + len(e.cuts)*3 + len(e.kids)*4 +
-		len(e.leaves)*(leafChunkLen*8+24) + len(e.ruleIDs)*4 + len(e.rules)*40
+		len(e.leaves)*(leafChunkLen*8+24) + len(e.ruleIDs)*4 + len(e.rules)*40 +
+		e.soa.slots()*8*rule.NumDims
 }

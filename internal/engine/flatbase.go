@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math/bits"
 	"runtime"
 	"sync"
 
@@ -55,6 +56,13 @@ type RangeEngine struct {
 	leaves  []leafRef
 	ruleIDs []int32
 	rules   []flatRule
+	// soa mirrors the leaf windows' rule bounds as per-dimension arenas
+	// in ruleIDs order, so the baselines' leaf scans run on the same
+	// comparator-bank kernel as Engine (soa.go) and the -engine table
+	// stays an algorithm comparison, not a layout one. Pushed-rule
+	// checks stay on the AoS rule table: pushed lists are individual
+	// IDs, not contiguous windows.
+	soa soaBank
 }
 
 // flatRules converts a ruleset to match form.
@@ -74,6 +82,7 @@ func (e *RangeEngine) addLeaf(ids []int32) int32 {
 	i := int32(len(e.leaves))
 	e.leaves = append(e.leaves, leafRef{off: int32(len(e.ruleIDs)), n: int32(len(ids))})
 	e.ruleIDs = append(e.ruleIDs, ids...)
+	e.soa.appendWindow(e.rules, ids)
 	return ^i
 }
 
@@ -149,6 +158,7 @@ func CompileHiCuts(t *hicuts.Tree) *RangeEngine {
 		e.nodes[i] = nd
 	}
 	e.root = ref(t.Root)
+	e.soa.computeOrder()
 	return e
 }
 
@@ -190,6 +200,7 @@ func CompileHyperCuts(t *hypercuts.Tree) *RangeEngine {
 		e.nodes[i] = nd
 	}
 	e.root = ref(t.Root)
+	e.soa.computeOrder()
 	return e
 }
 
@@ -238,13 +249,40 @@ func (e *RangeEngine) Classify(p rule.Packet) int {
 		ref = e.kids[n.kidOff+idx]
 	}
 	l := e.leaves[^ref]
-	for _, id := range e.ruleIDs[l.off : l.off+l.n] {
+	// Leaf scan: peel the head slots with the early-exit compare (the
+	// common quick match), then run the comparator bank on the rest. The
+	// window is priority-ordered, so its first matching slot is the
+	// leaf's best answer; it wins only if it beats the best pushed match
+	// (the AoS loop's early-break rule).
+	peel := peelLen(l.n)
+	for _, id := range e.ruleIDs[l.off : l.off+peel] {
 		if best >= 0 && id > best {
-			break // leaf is priority-ordered; cannot improve
+			return int(best) // window is priority-ordered; cannot improve
 		}
 		if e.match(id, p) {
-			best = id
-			break
+			return int(id)
+		}
+	}
+	if peel < l.n {
+		f := [rule.NumDims]uint32{p.SrcIP, p.DstIP, uint32(p.SrcPort), uint32(p.DstPort), uint32(p.Proto)}
+		end := l.off + l.n
+		width := int32(scanBlockLen)
+		for base := l.off + peel; base < end; {
+			bl := end - base
+			if bl > width {
+				bl = width
+			}
+			for m := e.soa.candidates(base, bl, &f); m != 0; m &= m - 1 {
+				id := e.ruleIDs[base+int32(bits.TrailingZeros64(m))]
+				if best >= 0 && id > best {
+					return int(best) // priority order; cannot improve
+				}
+				if e.match(id, p) {
+					return int(id)
+				}
+			}
+			base += bl
+			width = scanTailLen
 		}
 	}
 	return int(best)
@@ -289,5 +327,6 @@ func (e *RangeEngine) ParallelClassify(pkts []rule.Packet, out []int32, workers 
 // MemoryBytes returns the flat footprint of the baseline rendering.
 func (e *RangeEngine) MemoryBytes() int {
 	return len(e.nodes)*20 + len(e.cuts)*24 + len(e.kids)*4 + len(e.pushed)*4 +
-		len(e.leaves)*8 + len(e.ruleIDs)*4 + len(e.rules)*40
+		len(e.leaves)*8 + len(e.ruleIDs)*4 + len(e.rules)*40 +
+		e.soa.slots()*8*rule.NumDims
 }

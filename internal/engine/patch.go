@@ -14,11 +14,13 @@ import (
 //
 //   - cuts never change (internal-node cut headers are invariant under
 //     incremental updates) and are always shared;
-//   - rules, ruleIDs and kids are append-only arenas: new rule entries,
-//     rewritten leaf windows and relocated kid blocks are appended past
-//     the receiver's length, so readers of older snapshots — whose
-//     offsets all point below it — are never disturbed (this is what
-//     makes the snapshot swap race-detector clean);
+//   - rules, ruleIDs, the SoA comparator-bank arenas (soa.go) and kids
+//     are append-only arenas: new rule entries, rewritten leaf windows
+//     (IDs and per-dimension bounds alike) and relocated kid blocks are
+//     appended past the receiver's length, so readers of older
+//     snapshots — whose offsets all point below it — are never
+//     disturbed (this is what makes the snapshot swap race-detector
+//     clean);
 //   - the leaf table is chunked (leafChunkLen entries per chunk), and
 //     only the chunks containing edited leaf indices are copied — every
 //     chunk before the delta's first dirty leaf, and every untouched
@@ -65,6 +67,7 @@ func (e *Engine) PatchBatch(ds []*core.Delta) (*Engine, error) {
 		numLeaves:     e.numLeaves,
 		ruleIDs:       e.ruleIDs,
 		rules:         e.rules,
+		soa:           e.soa,
 		sentinel:      e.sentinel,
 		deadRuleSlots: e.deadRuleSlots,
 		deadKidSlots:  e.deadKidSlots,
@@ -177,6 +180,11 @@ func (ne *Engine) applyOne(d *core.Delta, st *patchState) error {
 		slot := ne.leafSlot(le.Index)
 		ref := leafRef{off: int32(len(ne.ruleIDs)), n: int32(len(le.Rules))}
 		ne.ruleIDs = append(ne.ruleIDs, le.Rules...)
+		// The SoA comparator-bank arenas grow in lock-step with the
+		// ruleIDs pool: the rewritten window's bounds are appended past
+		// the receiver's length, never written in place, so older
+		// snapshots keep reading their own slots untouched.
+		ne.soa.appendWindow(ne.rules, le.Rules)
 		if le.New {
 			if int(slot) != ne.numLeaves {
 				return fmt.Errorf("engine: patch appends leaf %d but the leaf table holds %d entries (delta applied out of order?)",

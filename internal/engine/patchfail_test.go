@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+)
+
+// Regression tests for mid-batch PatchBatch failure: PatchBatch shares
+// the receiver's arena backing arrays and may have appended into their
+// spare capacity (and even fully applied earlier deltas of the batch)
+// by the time a later delta fails. The append-only protocol makes that
+// harmless — every receiver offset points below the receiver's lengths
+// — but the property is load-bearing enough (snapshot immutability
+// under control-plane retries) that it gets pinned here explicitly:
+// after a failed batch the receiver must answer exactly as before, and
+// retrying the corrected batch on the same receiver must succeed and
+// converge with a fresh recompile.
+
+// failBatch returns consecutive deltas d1, d2 from two inserts, plus a
+// corrupted copy of d2 whose final leaf edit is out of range — so a
+// batch [d1, corrupt] fully applies d1 and partially applies the
+// corrupt delta (rule append and earlier leaf-window appends land in
+// the arenas) before failing.
+func failBatch(t *testing.T, tree *core.Tree) (d1, d2, corrupt *core.Delta) {
+	t.Helper()
+	pool := classbench.Generate(classbench.FW1(), 8, 77)
+	r1, r2 := pool[0], pool[1]
+	r1.ID = tree.NumRules()
+	d1, err := tree.InsertDelta(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.ID = tree.NumRules()
+	d2, err = tree.InsertDelta(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.LeafEdits) == 0 {
+		t.Fatalf("second insert produced no leaf edits; pick a different pool rule")
+	}
+	c := *d2
+	c.LeafEdits = append([]core.LeafEdit(nil), d2.LeafEdits...)
+	c.LeafEdits[len(c.LeafEdits)-1].Index = 1 << 20
+	c.LeafEdits[len(c.LeafEdits)-1].New = false
+	return d1, d2, &c
+}
+
+// TestPatchBatchMidFailureLeavesReceiverIntact proves the receiver
+// snapshot stays classify-identical after a failed mid-batch PatchBatch.
+func TestPatchBatchMidFailureLeavesReceiverIntact(t *testing.T) {
+	for _, algo := range []core.Algorithm{core.HiCuts, core.HyperCuts} {
+		t.Run(algo.String(), func(t *testing.T) {
+			rs := classbench.Generate(classbench.ACL1(), 400, 13)
+			tree, err := core.Build(rs, core.DefaultConfig(algo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			e0 := Compile(tree)
+			trace := classbench.GenerateTrace(rs, 3000, 14)
+			before := make([]int32, len(trace))
+			e0.ClassifyBatch(trace, before)
+			lens := [3]int{len(e0.ruleIDs), len(e0.kids), len(e0.rules)}
+
+			d1, d2, corrupt := failBatch(t, tree)
+			ne, err := e0.PatchBatch([]*core.Delta{d1, corrupt})
+			if err == nil {
+				t.Fatal("corrupted batch was accepted")
+			}
+			if ne != nil {
+				t.Fatal("failed batch returned a non-nil engine")
+			}
+			if got := [3]int{len(e0.ruleIDs), len(e0.kids), len(e0.rules)}; got != lens {
+				t.Fatalf("failed batch changed receiver arena lengths: %v -> %v", lens, got)
+			}
+			after := make([]int32, len(trace))
+			e0.ClassifyBatch(trace, after)
+			for i := range before {
+				if before[i] != after[i] {
+					t.Fatalf("packet %d: receiver changed from %d to %d after failed batch", i, before[i], after[i])
+				}
+			}
+
+			// The retry with the corrected batch succeeds on the same
+			// receiver and converges with a fresh recompile of the tree
+			// (which absorbed both inserts before the failed attempt).
+			e1, err := e0.PatchBatch([]*core.Delta{d1, d2})
+			if err != nil {
+				t.Fatalf("retry after failed batch: %v", err)
+			}
+			if err := VerifyPatched(trace, e1, Compile(tree)); err != nil {
+				t.Fatalf("retry diverged: %v", err)
+			}
+			// And the receiver is still untouched by the successful retry.
+			e0.ClassifyBatch(trace, after)
+			for i := range before {
+				if before[i] != after[i] {
+					t.Fatalf("packet %d: receiver changed from %d to %d after retry", i, before[i], after[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPatchBatchMidFailureConcurrentReaders re-runs the failed-batch
+// scenario with readers classifying on the receiver throughout, so the
+// race detector sees any in-place write a failed batch makes to storage
+// a published snapshot can reach.
+func TestPatchBatchMidFailureConcurrentReaders(t *testing.T) {
+	rs := classbench.Generate(classbench.ACL1(), 400, 15)
+	tree, err := core.Build(rs, core.DefaultConfig(core.HyperCuts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := Compile(tree)
+	trace := classbench.GenerateTrace(rs, 2000, 16)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		out := make([]int32, len(trace))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e0.ClassifyBatch(trace, out)
+			}
+		}
+	}()
+
+	d1, _, corrupt := failBatch(t, tree)
+	for i := 0; i < 50; i++ {
+		if _, err := e0.PatchBatch([]*core.Delta{d1, corrupt}); err == nil {
+			t.Fatal("corrupted batch was accepted")
+		}
+	}
+	close(stop)
+	<-done
+}

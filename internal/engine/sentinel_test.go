@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+)
+
+// End-to-end coverage for Engine.leafSlot's sentinel shift: when Compile
+// compiled a tree containing nil child slots it inserted an empty-leaf
+// sentinel into the engine's leaf table, and every later patch must
+// translate core leaf indices at or past the sentinel up by one — the
+// `sentinel >= 0` branch of leafSlot. core.Build never emits nil
+// children, so the branch is reachable only for engines compiled from a
+// hand-mutated tree, which is what this test constructs: a few child
+// slots pointing at heavily shared leaves are nil'ed ("no match" for
+// those regions). The tree, the patched engine and every fresh Compile
+// all render the mutated tree, so the three views must stay
+// packet-identical through the whole churn — which is exactly the
+// property leafSlot's shift must preserve.
+
+// nilSharedLeafSlots replaces up to max child slots whose leaf is
+// referenced from at least three slots with nil (the leaf itself stays
+// reachable through its other references, so the mutation only
+// introduces nil slots — it does not strand leaf-table entries).
+func nilSharedLeafSlots(t *core.Tree, max int) int {
+	refs := map[*core.Node]int{}
+	for _, in := range t.Internals() {
+		for _, c := range in.Children {
+			if c != nil && c.Leaf {
+				refs[c]++
+			}
+		}
+	}
+	n := 0
+	for _, in := range t.Internals() {
+		for i, c := range in.Children {
+			if n >= max {
+				return n
+			}
+			if c != nil && c.Leaf && refs[c] >= 3 {
+				refs[c]--
+				in.Children[i] = nil
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestPatchAfterSentinelCompile(t *testing.T) {
+	for _, algo := range []core.Algorithm{core.HiCuts, core.HyperCuts} {
+		t.Run(algo.String(), func(t *testing.T) {
+			rs := classbench.Generate(classbench.ACL1(), 300, 61)
+			tree, err := core.Build(rs, core.DefaultConfig(algo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nilSharedLeafSlots(tree, 8) == 0 {
+				t.Fatal("tree has no shared leaves to nil; pick a different ruleset")
+			}
+			coreLeaves0 := len(tree.Leaves())
+			e := Compile(tree)
+			if e.sentinel < 0 {
+				t.Fatal("compile of a tree with nil children emitted no sentinel")
+			}
+			if int(e.sentinel) != coreLeaves0 {
+				t.Fatalf("sentinel at %d, want %d (end of the compile-time leaf table)", e.sentinel, coreLeaves0)
+			}
+			trace := classbench.GenerateTrace(rs, 3000, 62)
+			for i, p := range trace {
+				if got, want := e.Classify(p), tree.Classify(p); got != want {
+					t.Fatalf("pre-patch packet %d: engine=%d tree=%d", i, got, want)
+				}
+			}
+
+			// Churn through the patch pipeline: repeated inserts of
+			// overlapping rules append new leaves (unsharing) and then
+			// edit those appended leaves in place — both sides of the
+			// sentinel shift. Inserting each pool rule twice guarantees
+			// the second copy edits leaves the first one appended.
+			pool := classbench.Generate(classbench.FW1(), 20, 63)
+			var appends, shiftedEdits int
+			for i := 0; i < 2*len(pool); i++ {
+				r := pool[i/2]
+				r.ID = tree.NumRules()
+				d, err := tree.InsertDelta(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, le := range d.LeafEdits {
+					switch {
+					case le.New:
+						appends++
+					case le.Index >= coreLeaves0:
+						shiftedEdits++
+					}
+				}
+				if e, err = e.Patch(d); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+				if i%4 != 3 {
+					continue
+				}
+				fresh := Compile(tree)
+				if err := VerifyPatched(trace, e, fresh); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+				for j, p := range trace {
+					if got, want := e.Classify(p), tree.Classify(p); got != want {
+						t.Fatalf("insert %d packet %d: patched=%d tree=%d", i, j, got, want)
+					}
+				}
+			}
+			// Deletes rewrite existing leaves on both sides of the
+			// sentinel too — in place even when shared, so they reliably
+			// exercise the shifted-edit path on the appended leaves the
+			// inserted rules live in.
+			for id := len(rs); id < tree.NumRules(); id += 3 {
+				d, err := tree.DeleteDelta(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, le := range d.LeafEdits {
+					if !le.New && le.Index >= coreLeaves0 {
+						shiftedEdits++
+					}
+				}
+				if e, err = e.Patch(d); err != nil {
+					t.Fatalf("delete %d: %v", id, err)
+				}
+			}
+			if err := VerifyPatched(trace, e, Compile(tree)); err != nil {
+				t.Fatal(err)
+			}
+
+			// The test must actually have exercised the shift: appends
+			// always land past the sentinel, and at least one in-place
+			// edit of an appended leaf must have occurred.
+			if appends == 0 || shiftedEdits == 0 {
+				t.Fatalf("churn exercised appends=%d shifted-edits=%d; the sentinel branch was not covered", appends, shiftedEdits)
+			}
+		})
+	}
+}

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"math/bits"
+
+	"repro/internal/rule"
+)
+
+// Structure-of-arrays leaf storage: the software comparator bank.
+//
+// The accelerator evaluates a leaf by firing 30 range comparators in
+// parallel over the 160-bit rule slots of one wide memory word. The
+// array-of-structs scan ([]flatRule, 40 bytes per rule) is the obvious
+// software rendering, but it serializes the comparators: each rule costs
+// up to ten compares and data-dependent branches, so deep scans pay a
+// mispredict per rule.
+//
+// soaBank stores the same bounds as ten per-dimension arenas —
+// lo[d][i]/hi[d][i] are the bounds of the rule in leaf-scan slot i, laid
+// out in exactly the order of the ruleIDs pool — so evaluating a window
+// becomes contiguous per-dimension sweeps, each accumulating a match
+// bitmask with branch-free compares over a block of slots. The first set
+// bit of the surviving mask is the highest-priority match (windows are
+// priority-ordered, like the pool). The sweeps are 4-wide unrolled over
+// bounds-check-eliminated slices: a portable form wide enough for the
+// compiler to keep the adjacent loads and the wraparound compares in
+// independent registers, and the natural shape for AVX2/NEON lanes
+// should a SIMD backend land.
+//
+// Two workload facts (measured on ACL1 traces, see TestScanStats) shape
+// the kernel:
+//
+//   - Matches cluster at the window head: Zipf-popular rules are the
+//     high-priority ones, so ~half of all scans end in the first slot.
+//     scanLeaf therefore peels the first soaPeel slots with the AoS
+//     early-exit compare before starting the bank — the block setup can
+//     never be amortized over a one-slot scan.
+//   - Dimensions differ wildly in selectivity (most slots are wildcard
+//     in some dimensions). The sweeps run in compile-time selectivity
+//     order (order[]), so a block of non-matching slots usually dies
+//     after one or two sweeps instead of five.
+//
+// The arenas grow append-only, in lock-step with ruleIDs: Patch appends
+// a rewritten leaf's bounds past the receiver's length exactly as it
+// appends the window's rule IDs, so snapshot sharing and the race-free
+// epoch swap are untouched (readers of older snapshots never index past
+// their snapshot's length, and published slots are never rewritten).
+type soaBank struct {
+	lo [rule.NumDims][]uint32
+	hi [rule.NumDims][]uint32
+	// order is the dimension sweep order, most selective first, fixed at
+	// Compile time from the ruleset's wildcard densities (window bounds
+	// appended by patches keep the compile-time order: it is a scan
+	// heuristic, not a correctness input).
+	order [rule.NumDims]uint8
+}
+
+// scanBlockLen is the comparator-bank width of the first block after the
+// peel: small enough that a match just past the peel costs a few short
+// sweeps. Deeper blocks widen to scanTailLen — matches that deep are
+// rare, so the tail is tuned for miss throughput (fewer per-block
+// setups), not match latency. Both fit one uint64 mask.
+const (
+	scanBlockLen = 16
+	scanTailLen  = 64
+)
+
+// soaPeel is the number of head slots scanLeaf checks with the AoS
+// early-exit compare before switching to the bank. Windows of at most
+// soaScanCutoff slots are peeled whole: below that length the bank's
+// block setup cannot beat the early-exit loop even on full misses (the
+// measured crossover on ACL1 workloads sits between 16 and 32 slots).
+const (
+	soaPeel       = 4
+	soaScanCutoff = 24
+)
+
+// peelLen returns how many head slots of an n-slot window the AoS peel
+// covers: all of a short window, soaPeel of a long one.
+func peelLen(n int32) int32 {
+	if n <= soaScanCutoff {
+		return n
+	}
+	return soaPeel
+}
+
+// defaultOrder returns the identity sweep order.
+func defaultOrder() [rule.NumDims]uint8 {
+	var o [rule.NumDims]uint8
+	for d := range o {
+		o[d] = uint8(d)
+	}
+	return o
+}
+
+// appendRule appends one rule's bounds to the bank (slot order = call
+// order = ruleIDs pool order).
+func (b *soaBank) appendRule(fr *flatRule) {
+	for d := 0; d < rule.NumDims; d++ {
+		b.lo[d] = append(b.lo[d], fr.lo[d])
+		b.hi[d] = append(b.hi[d], fr.hi[d])
+	}
+}
+
+// appendWindow appends the bounds of each rule in ids, resolving them
+// through the rule table — the SoA mirror of appending ids to the
+// ruleIDs pool.
+func (b *soaBank) appendWindow(rules []flatRule, ids []int32) {
+	for _, id := range ids {
+		b.appendRule(&rules[id])
+	}
+}
+
+// slots returns the arena length (equals the ruleIDs pool length).
+func (b *soaBank) slots() int { return len(b.lo[0]) }
+
+// computeOrder fixes the sweep order by measured selectivity: dimensions
+// whose slots are least often full-range wildcards go first, so the
+// per-block mask collapses to zero after as few sweeps as possible.
+func (b *soaBank) computeOrder() {
+	b.order = defaultOrder()
+	var selective [rule.NumDims]int
+	for d := 0; d < rule.NumDims; d++ {
+		full := uint32(1)<<rule.DimBits[d] - 1
+		for i, lo := range b.lo[d] {
+			if lo != 0 || b.hi[d][i] != full {
+				selective[d]++
+			}
+		}
+	}
+	// Insertion sort of 5 elements, descending selectivity, stable so
+	// equal dimensions keep the natural (cheap-fields-first) order.
+	for i := 1; i < rule.NumDims; i++ {
+		for j := i; j > 0 && selective[b.order[j]] > selective[b.order[j-1]]; j-- {
+			b.order[j], b.order[j-1] = b.order[j-1], b.order[j]
+		}
+	}
+}
+
+// rangeBit reports, branch-free, whether v lies in [lo, hi]: v-lo wraps
+// past hi-lo exactly when v is outside the interval (unsigned-wraparound
+// range check), so the borrow bit of the 64-bit difference is the
+// comparator output.
+func rangeBit(v, lo, hi uint32) uint64 {
+	return (uint64(hi-lo)-uint64(v-lo))>>63 ^ 1
+}
+
+// sweep accumulates the match bits of one dimension over lo/hi (equal
+// length, at most 64 — the uint64 mask width; callers block their
+// windows at scanBlockLen/scanTailLen, both within the bound), 4-wide
+// unrolled. The hi reslice pins its length to lo's so the unrolled body
+// compiles without bounds checks.
+func sweep(v uint32, lo, hi []uint32) uint64 {
+	hi = hi[:len(lo)]
+	var m uint64
+	j := 0
+	for ; j+4 <= len(lo); j += 4 {
+		b0 := rangeBit(v, lo[j], hi[j])
+		b1 := rangeBit(v, lo[j+1], hi[j+1])
+		b2 := rangeBit(v, lo[j+2], hi[j+2])
+		b3 := rangeBit(v, lo[j+3], hi[j+3])
+		m |= (b0 | b1<<1 | b2<<2 | b3<<3) << uint(j)
+	}
+	for ; j < len(lo); j++ {
+		m |= rangeBit(v, lo[j], hi[j]) << uint(j)
+	}
+	return m
+}
+
+// soaDenseCut is the candidate-count threshold above which candidates
+// spends a second sweep: verifying a candidate costs about as much as
+// sweeping four slots, so a first-dimension mask with only a few
+// survivors is cheaper to verify directly than to keep masking.
+const soaDenseCut = 3
+
+// candidates returns the mask of slots in [base, base+bl) that survive
+// the comparator bank's prefilter: a sweep of the most selective
+// dimension, plus a second sweep when too many slots survive the first.
+// Bit j corresponds to slot base+j. Callers verify surviving slots
+// against the full rule bounds in ascending-bit (priority) order; a
+// zero return proves no slot in the block matches (sweeps never produce
+// false negatives).
+func (b *soaBank) candidates(base, bl int32, f *[rule.NumDims]uint32) uint64 {
+	d0 := b.order[0]
+	m := sweep(f[d0], b.lo[d0][base:base+bl], b.hi[d0][base:base+bl])
+	if m != 0 && bits.OnesCount64(m) > soaDenseCut {
+		d1 := b.order[1]
+		m &= sweep(f[d1], b.lo[d1][base:base+bl], b.hi[d1][base:base+bl])
+	}
+	return m
+}
+
+// scan returns the offset within the window [off, off+n) of the first
+// slot whose bounds contain the packet fields, or -1, sweeping all five
+// dimensions per block. It is the pure-mask form of the kernel — the
+// shape a SIMD backend would take — kept as the reference the
+// prefilter+verify fast path (Engine.scanLeaf) is differentially tested
+// against; the fast path wins in scalar code because a match-bearing
+// block stops masking after at most two sweeps.
+func (b *soaBank) scan(off, n int32, f *[rule.NumDims]uint32) int32 {
+	end := off + n
+	width := int32(scanBlockLen)
+	for base := off; base < end; {
+		bl := end - base
+		if bl > width {
+			bl = width
+		}
+		d0 := b.order[0]
+		m := sweep(f[d0], b.lo[d0][base:base+bl], b.hi[d0][base:base+bl])
+		for i := 1; i < rule.NumDims && m != 0; i++ {
+			d := b.order[i]
+			m &= sweep(f[d], b.lo[d][base:base+bl], b.hi[d][base:base+bl])
+		}
+		if m != 0 {
+			return base - off + int32(bits.TrailingZeros64(m))
+		}
+		base += bl
+		width = scanTailLen
+	}
+	return -1
+}

@@ -13,8 +13,12 @@
 # cache's hit rate, occupancy and stale-eviction counters; the
 # PatchUpdate/PatchWords rows at 1k and 10k rules record the
 # sublinear-update claim: ns_op and dirtywords must track the edited
-# leaves, not imgwords) is written so the perf trajectory is trackable
-# across PRs without parsing text tables.
+# leaves, not imgwords; the ClassifyBatchACL10k/{aos,soa} and
+# LeafScan/{aos,soa}/leafsize=N pairs record the leaf-scan layout
+# ablation: the SoA comparator bank must be no slower than the AoS
+# early-exit scan end to end and faster on populated leaves) is written
+# so the perf trajectory is trackable across PRs without parsing text
+# tables.
 #
 # Environment knobs:
 #   BENCH  regex of benchmarks to run (default: engine + build suite)
@@ -25,7 +29,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-Classify|Build|Compile|Patch}"
+BENCH="${BENCH:-Classify|Build|Compile|Patch|LeafScan}"
 COUNT="${COUNT:-10}"
 TIME="${TIME:-0.5s}"
 JSON="${JSON:-BENCH_$(date +%F).json}"

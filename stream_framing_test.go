@@ -1,0 +1,109 @@
+package repro
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/rule"
+)
+
+// Framing regression tests for ClassifyStream: the trace reader must
+// produce the identical packet sequence no matter how the underlying
+// io.Reader fragments its data — one byte at a time, split mid-line,
+// or whole-buffer — including a final line without a trailing newline.
+
+// oneByteReader yields a single byte per Read call.
+type oneByteReader struct{ r io.Reader }
+
+func (o oneByteReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+// chunkReader yields fixed-size chunks chosen to split lines mid-number,
+// so every packet crosses a Read boundary somewhere in the stream.
+type chunkReader struct {
+	data []byte
+	pos  int
+	size int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if c.pos >= len(c.data) {
+		return 0, io.EOF
+	}
+	n := c.size
+	if n > len(p) {
+		n = len(p)
+	}
+	if c.pos+n > len(c.data) {
+		n = len(c.data) - c.pos
+	}
+	copy(p, c.data[c.pos:c.pos+n])
+	c.pos += n
+	return n, nil
+}
+
+func TestClassifyStreamShortReads(t *testing.T) {
+	rs, err := GenerateRuleset("acl1", 300, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := BuildAccelerator(rs, Config{Algorithm: HyperCuts, CacheSize: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := GenerateTrace(rs, 2500, 32)
+
+	var traceText bytes.Buffer
+	if err := rule.WriteTrace(&traceText, trace); err != nil {
+		t.Fatal(err)
+	}
+	// A comment line mid-stream and a final packet without trailing
+	// newline, the two framing wrinkles the text format allows.
+	text := "# header comment\n" + traceText.String()
+	text = strings.TrimSuffix(text, "\n")
+
+	var want bytes.Buffer
+	wantN, err := acc.ClassifyStream(strings.NewReader(text), &want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantN != int64(len(trace)) {
+		t.Fatalf("whole-buffer read classified %d of %d packets", wantN, len(trace))
+	}
+
+	readers := map[string]func() io.Reader{
+		"one-byte": func() io.Reader { return oneByteReader{strings.NewReader(text)} },
+		// 7 bytes lands inside a decimal field of essentially every
+		// line; 1<<16-1 splits at large, line-unaligned strides.
+		"chunk-7":     func() io.Reader { return &chunkReader{data: []byte(text), size: 7} },
+		"chunk-65535": func() io.Reader { return &chunkReader{data: []byte(text), size: 1<<16 - 1} },
+	}
+	for name, mk := range readers {
+		t.Run(name, func(t *testing.T) {
+			var got bytes.Buffer
+			n, err := acc.ClassifyStream(mk(), &got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != wantN {
+				t.Fatalf("classified %d packets, want %d", n, wantN)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				gl := strings.Split(got.String(), "\n")
+				wl := strings.Split(want.String(), "\n")
+				for i := range wl {
+					if i >= len(gl) || gl[i] != wl[i] {
+						t.Fatalf("result line %d: got %q want %q", i, gl[i], wl[i])
+					}
+				}
+				t.Fatalf("results differ in length: got %d lines, want %d", len(gl), len(wl))
+			}
+		})
+	}
+}
