@@ -9,7 +9,11 @@
 //
 // The ruleset is written in ClassBench format (one '@'-prefixed filter
 // per line); the trace as one "srcIP dstIP srcPort dstPort proto" tuple
-// of decimal values per line.
+// of decimal values per line. With -binary the trace is written in the
+// framed binary wire format instead (internal/wire) — the line-rate
+// ingest format every trace consumer auto-detects; with -pcap it is
+// written as a minimal synthetic pcap capture (Ethernet+IPv4 stub
+// frames), the fixture format for the pcap ingest adapter.
 //
 // With -flows the trace has flow-level temporal locality: traffic is
 // carried by that many distinct 5-tuples, arriving as packet trains
@@ -26,6 +30,7 @@ import (
 
 	"repro/internal/classbench"
 	"repro/internal/rule"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -38,16 +43,28 @@ func main() {
 		traceOut = flag.String("traceout", "-", "trace output file (- = stdout)")
 		flows    = flag.Int("flows", 0, "flow-locality trace: number of distinct flows (0 = per-packet sampling)")
 		burst    = flag.Int("burst", 8, "mean packet-train length for -flows traces")
+		binary   = flag.Bool("binary", false, "write the trace in the binary wire format instead of text")
+		pcap     = flag.Bool("pcap", false, "write the trace as a synthetic pcap capture instead of text")
 	)
 	flag.Parse()
 
-	if err := run(*profile, *n, *seed, *out, *traceN, *traceOut, *flows, *burst); err != nil {
+	if *binary && *pcap {
+		fmt.Fprintln(os.Stderr, "pcgen: -binary and -pcap are mutually exclusive")
+		os.Exit(2)
+	}
+	format := "text"
+	if *binary {
+		format = "binary"
+	} else if *pcap {
+		format = "pcap"
+	}
+	if err := run(*profile, *n, *seed, *out, *traceN, *traceOut, *flows, *burst, format); err != nil {
 		fmt.Fprintln(os.Stderr, "pcgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(profile string, n int, seed int64, out string, traceN int, traceOut string, flows, burst int) error {
+func run(profile string, n int, seed int64, out string, traceN int, traceOut string, flows, burst int, format string) error {
 	p, err := classbench.ProfileByName(profile)
 	if err != nil {
 		return err
@@ -77,9 +94,18 @@ func run(profile string, n int, seed int64, out string, traceN int, traceOut str
 		if err != nil {
 			return err
 		}
-		if err := rule.WriteTrace(tw, trace); err != nil {
+		var werr error
+		switch format {
+		case "binary":
+			werr = wire.WriteTrace(tw, trace)
+		case "pcap":
+			werr = wire.WritePcap(tw, trace)
+		default:
+			werr = rule.WriteTrace(tw, trace)
+		}
+		if werr != nil {
 			closeT()
-			return err
+			return werr
 		}
 		return closeT()
 	}

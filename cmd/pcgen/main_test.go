@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/rule"
+	"repro/internal/wire"
 )
 
 func TestRunWritesRulesetAndTrace(t *testing.T) {
@@ -13,7 +15,7 @@ func TestRunWritesRulesetAndTrace(t *testing.T) {
 	rulesPath := filepath.Join(dir, "rules.txt")
 	tracePath := filepath.Join(dir, "trace.txt")
 
-	if err := run("acl1", 120, 7, rulesPath, 300, tracePath, 0, 8); err != nil {
+	if err := run("acl1", 120, 7, rulesPath, 300, tracePath, 0, 8, "text"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -55,7 +57,7 @@ func TestRunWritesRulesetAndTrace(t *testing.T) {
 }
 
 func TestRunRejectsUnknownProfile(t *testing.T) {
-	if err := run("bogus", 10, 1, "-", 0, "-", 0, 8); err == nil {
+	if err := run("bogus", 10, 1, "-", 0, "-", 0, 8, "text"); err == nil {
 		t.Error("unknown profile accepted")
 	}
 }
@@ -63,7 +65,7 @@ func TestRunRejectsUnknownProfile(t *testing.T) {
 func TestRunWritesFlowTrace(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "flowtrace.txt")
-	if err := run("acl1", 80, 7, filepath.Join(dir, "r.txt"), 2000, tracePath, 64, 8); err != nil {
+	if err := run("acl1", 80, 7, filepath.Join(dir, "r.txt"), 2000, tracePath, 64, 8, "text"); err != nil {
 		t.Fatal(err)
 	}
 	tf, err := os.Open(tracePath)
@@ -85,5 +87,43 @@ func TestRunWritesFlowTrace(t *testing.T) {
 	}
 	if len(distinct) > 64 {
 		t.Errorf("%d distinct headers for a 64-flow trace", len(distinct))
+	}
+}
+
+func TestRunWritesBinaryAndPcapTraces(t *testing.T) {
+	dir := t.TempDir()
+	for _, format := range []string{"binary", "pcap"} {
+		tracePath := filepath.Join(dir, "trace."+format)
+		if err := run("acl1", 60, 7, filepath.Join(dir, "r-"+format+".txt"), 400, tracePath, 0, 8, format); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		data, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch format {
+		case "binary":
+			if !wire.IsMagic(data) {
+				t.Fatalf("binary trace does not start with the wire magic")
+			}
+			trace, err := wire.ReadAll(wire.NewReader(bytes.NewReader(data)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(trace) != 400 {
+				t.Fatalf("decoded %d packets, want 400", len(trace))
+			}
+		case "pcap":
+			if !wire.IsPcapMagic(data) {
+				t.Fatalf("pcap trace does not start with a pcap magic")
+			}
+			trace, err := wire.ReadAll(wire.NewPcapReader(bytes.NewReader(data)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(trace) != 400 {
+				t.Fatalf("decoded %d packets, want 400", len(trace))
+			}
+		}
 	}
 }

@@ -8,10 +8,13 @@
 //	pcsim -profile acl1 -n 2191 -trace 20000        # synthetic inputs
 //
 // Ruleset files are in ClassBench format (see cmd/pcgen); trace files hold
-// one "srcIP dstIP srcPort dstPort proto" decimal tuple per line.
+// either one "srcIP dstIP srcPort dstPort proto" decimal tuple per line,
+// the framed binary wire format, or a pcap capture — the format is
+// auto-detected from the first bytes.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +27,8 @@ import (
 	"repro/internal/engine"
 	"repro/internal/hwsim"
 	"repro/internal/rule"
+	"repro/internal/stream"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -75,7 +80,10 @@ func run(rulesFile, traceFile, profile string, n, traceN int, seed int64, algo, 
 		if err != nil {
 			return err
 		}
-		trace, err = rule.ReadTrace(f)
+		// Auto-detect the trace format: binary wire frames, a pcap
+		// capture, or text lines (see internal/stream.Detect).
+		src, _ := stream.Detect(bufio.NewReader(f))
+		trace, err = wire.ReadAll(src)
 		f.Close()
 		if err != nil {
 			return err

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/classbench"
 	"repro/internal/rule"
+	"repro/internal/wire"
 )
 
 func TestRunSyntheticEndToEnd(t *testing.T) {
@@ -57,5 +59,41 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run("/does/not/exist", "", "", 0, 0, 0, "hicuts", "asic", 1, 4, 120); err == nil {
 		t.Error("missing rules file accepted")
+	}
+}
+
+func TestRunAutoDetectsBinaryAndPcapTraces(t *testing.T) {
+	dir := t.TempDir()
+	rulesPath := filepath.Join(dir, "rules.txt")
+	rs := classbench.Generate(classbench.ACL1(), 100, 9)
+	rf, err := os.Create(rulesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rule.WriteSet(rf, rs); err != nil {
+		t.Fatal(err)
+	}
+	rf.Close()
+	trace := classbench.GenerateTrace(rs, 400, 10)
+
+	write := func(name string, enc func(io.Writer, []rule.Packet) error) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc(f, trace); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return path
+	}
+	for name, path := range map[string]string{
+		"binary": write("trace.bin", wire.WriteTrace),
+		"pcap":   write("trace.pcap", wire.WritePcap),
+	} {
+		if err := run(rulesPath, path, "", 0, 0, 0, "hypercuts", "asic", 1, 4, 120); err != nil {
+			t.Fatalf("%s trace: %v", name, err)
+		}
 	}
 }

@@ -32,6 +32,7 @@ func main() {
 		engineTbl   = flag.Bool("engine", false, "also print host flat-engine throughput (not a paper table)")
 		churn       = flag.Bool("churn", false, "also print classification throughput under sustained rule updates (not a paper table)")
 		cacheTbl    = flag.Bool("cache", false, "also print flow-cache hit-rate/throughput on locality-skewed traces (not a paper table)")
+		ingestTbl   = flag.Bool("ingest", false, "also print end-to-end ingest throughput, text vs binary framing (not a paper table)")
 	)
 	flag.Parse()
 
@@ -46,13 +47,17 @@ func main() {
 		}
 	}
 
-	if err := run(*table, *ablation, *sensitivity, *engineTbl, *churn, *cacheTbl, ablN, opts); err != nil {
+	ingestSizes := []int(nil) // RunIngest default: 1k and 10k rules
+	if *quick {
+		ingestSizes = []int{500}
+	}
+	if err := run(*table, *ablation, *sensitivity, *engineTbl, *churn, *cacheTbl, *ingestTbl, ablN, ingestSizes, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pctables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, ablation, sensitivity, engineTbl, churn, cacheTbl bool, ablN int, opts bench.Options) error {
+func run(table int, ablation, sensitivity, engineTbl, churn, cacheTbl, ingestTbl bool, ablN int, ingestSizes []int, opts bench.Options) error {
 	needACL := table == 0 || table == 2 || table == 3 || table == 6 || table == 7 || table == 8
 	var rows []bench.ACL1Row
 	var err error
@@ -117,6 +122,16 @@ func run(table int, ablation, sensitivity, engineTbl, churn, cacheTbl bool, ablN
 			return err
 		}
 		fmt.Println(bench.CacheTable(rows).Format())
+	}
+	if ingestTbl {
+		fmt.Fprintln(os.Stderr, "measuring end-to-end ingest throughput (text vs binary framing)...")
+		io := opts
+		io.Sizes = ingestSizes
+		rows, err := bench.RunIngest(io)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.IngestTable(rows).Format())
 	}
 	if sensitivity {
 		fmt.Fprintln(os.Stderr, "running seed-sensitivity study...")

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rule"
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+// End-to-end ingest measurement: the full ClassifyStream path — framed
+// bytes in, result lines out — for the legacy text trace format, the
+// binary wire format, and binary with the flow cache enabled. This is
+// the number the line-rate ingest work is accountable to: not classify
+// microbenchmarks, but packets through the whole decode → classify →
+// serialize pipeline per second, with allocations per packet alongside
+// (steady state must stay far below one on every path, zero on the
+// binary decode itself). Before any number is reported, all formats are
+// cross-checked byte-exact against each other and a direct ClassifyBatch
+// oracle — cold, warm-cache, and after control-plane churn.
+
+// IngestRow is one end-to-end ingest measurement.
+type IngestRow struct {
+	N      int
+	Format string
+	// Flows/Burst describe the trace locality (GenerateFlowTrace).
+	Flows, Burst int
+	// InputBytes is the encoded size of one trace pass in this format.
+	InputBytes int
+	// PPS is end-to-end packets per second through the full pipeline.
+	PPS float64
+	// AllocsPerPkt is heap allocations per packet, steady state.
+	AllocsPerPkt float64
+	// SpeedupX is PPS over the text row's PPS at the same size.
+	SpeedupX float64
+}
+
+// RunIngest measures end-to-end ingest throughput per format for every
+// ruleset size (default 1k and 10k — ingest cost depends mostly on the
+// framing, so a small and a large set bound the range).
+func RunIngest(opts Options) ([]IngestRow, error) {
+	if len(opts.Sizes) == 0 {
+		opts.Sizes = []int{1000, 10000}
+	}
+	opts.sanitize()
+	var rows []IngestRow
+	for _, n := range opts.Sizes {
+		sized, err := runIngest(n, opts)
+		if err != nil {
+			return nil, fmt.Errorf("ingest n=%d: %w", n, err)
+		}
+		rows = append(rows, sized...)
+	}
+	return rows, nil
+}
+
+func runIngest(n int, opts Options) ([]IngestRow, error) {
+	rs := classbench.Generate(classbench.ACL1(), n, opts.Seed)
+	tree, err := core.Build(rs, core.DefaultConfig(core.HyperCuts))
+	if err != nil {
+		return nil, err
+	}
+	flows := max(n/4, 256)
+	const burst = 16
+	trace := classbench.GenerateFlowTrace(rs, max(opts.TracePackets, 4*stream.BatchSize), flows, burst, opts.Seed+1)
+
+	var text, bin bytes.Buffer
+	if err := rule.WriteTrace(&text, trace); err != nil {
+		return nil, err
+	}
+	if err := wire.WriteTrace(&bin, trace); err != nil {
+		return nil, err
+	}
+
+	// Plain handle for the uncached rows; a second handle owns the flow
+	// cache so the "binary" row never borrows cached answers.
+	h := engine.NewHandle(engine.Compile(tree))
+	hc := engine.NewHandle(engine.Compile(tree))
+	hc.EnableCache(4 * flows)
+
+	// Differential verification before any measurement: text, binary and
+	// cached-binary output streams must be byte-identical to the direct
+	// ClassifyBatch oracle — cold, warm-cache, and post-churn.
+	oracle := func() ([]byte, error) {
+		want := make([]int32, len(trace))
+		h.Current().Engine().ClassifyBatch(trace, want)
+		var buf bytes.Buffer
+		for _, id := range want {
+			fmt.Fprintf(&buf, "%d\n", id)
+		}
+		return buf.Bytes(), nil
+	}
+	verify := func(when string) error {
+		want, err := oracle()
+		if err != nil {
+			return err
+		}
+		for name, run := range map[string]func(io.Writer) (stream.Stats, error){
+			"text":         func(w io.Writer) (stream.Stats, error) { return stream.Run(h, bytes.NewReader(text.Bytes()), w) },
+			"binary":       func(w io.Writer) (stream.Stats, error) { return stream.Run(h, bytes.NewReader(bin.Bytes()), w) },
+			"binary+cache": func(w io.Writer) (stream.Stats, error) { return stream.Run(hc, bytes.NewReader(bin.Bytes()), w) },
+		} {
+			var out bytes.Buffer
+			st, err := run(&out)
+			if err != nil {
+				return fmt.Errorf("%s %s: %w", when, name, err)
+			}
+			if st.Packets != int64(len(trace)) {
+				return fmt.Errorf("%s %s: %d packets, want %d", when, name, st.Packets, len(trace))
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				return fmt.Errorf("%s %s: result stream differs from ClassifyBatch oracle", when, name)
+			}
+		}
+		return nil
+	}
+	if err := verify("cold"); err != nil {
+		return nil, err
+	}
+	if err := verify("warm"); err != nil {
+		return nil, err
+	}
+	// Churn: insert a batch of rules through both handles, then verify
+	// the streams again against the updated tree.
+	pool := classbench.Generate(classbench.FW1(), min(max(n/8, 20), 200), opts.Seed+2)
+	for i := range pool {
+		r := pool[i]
+		r.ID = tree.NumRules()
+		d, err := tree.InsertDelta(r)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := h.Apply(d); err != nil {
+			return nil, err
+		}
+		if _, err := hc.Apply(d); err != nil {
+			return nil, err
+		}
+	}
+	if err := verify("post-churn"); err != nil {
+		return nil, err
+	}
+
+	measure := func(data []byte, hh *engine.Handle) (pps, allocsPerPkt float64, err error) {
+		// One warm pass, then timed passes over the same bytes.
+		if _, err := stream.Run(hh, bytes.NewReader(data), io.Discard); err != nil {
+			return 0, 0, err
+		}
+		const minDur = 80 * time.Millisecond
+		var packets, allocs int64
+		src := bytes.NewReader(data)
+		start := time.Now()
+		for time.Since(start) < minDur {
+			src.Reset(data)
+			st, err := stream.Run(hh, src, io.Discard)
+			if err != nil {
+				return 0, 0, err
+			}
+			packets += st.Packets
+			allocs += st.Allocs
+		}
+		dur := time.Since(start).Seconds()
+		return float64(packets) / dur, float64(allocs) / float64(packets), nil
+	}
+
+	rows := []IngestRow{
+		{N: n, Format: "text", InputBytes: text.Len()},
+		{N: n, Format: "binary", InputBytes: bin.Len()},
+		{N: n, Format: "binary+cache", InputBytes: bin.Len()},
+	}
+	handles := []*engine.Handle{h, h, hc}
+	inputs := [][]byte{text.Bytes(), bin.Bytes(), bin.Bytes()}
+	for i := range rows {
+		rows[i].Flows, rows[i].Burst = flows, burst
+		rows[i].PPS, rows[i].AllocsPerPkt, err = measure(inputs[i], handles[i])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", rows[i].Format, err)
+		}
+	}
+	for i := range rows {
+		rows[i].SpeedupX = rows[i].PPS / rows[0].PPS
+	}
+	return rows, nil
+}
+
+// IngestTable renders the end-to-end ingest measurement.
+func IngestTable(rows []IngestRow) *Table {
+	t := &Table{
+		Title:  "End-to-end ingest (decode → classify → serialize), text vs binary framing",
+		Header: []string{"Rules", "Format", "Flows", "Input bytes", "pps", "allocs/pkt", "Speedup"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			itoa(r.N), r.Format, itoa(r.Flows), itoa(r.InputBytes),
+			f0(r.PPS), fmt.Sprintf("%.4f", r.AllocsPerPkt),
+			fmt.Sprintf("%.2fx", r.SpeedupX),
+		})
+	}
+	return t
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/rule"
@@ -300,8 +301,35 @@ func prefixMatch(v, addr uint32, code uint8) bool {
 	return v>>sh == addr>>sh
 }
 
-// store writes the rule into slot pos of memory word w.
+// store writes the rule into slot pos of memory word w. A 160-bit rule
+// slot is byte-aligned (RuleBits/8 = 20 bytes at pos*20), so the whole
+// slot is written as three little-endian stores — LSB-first bit packing
+// over byte-aligned fields IS little-endian byte order. The field
+// composition below mirrors the ruleOff* layout exactly; storeBitwise
+// keeps the offset-by-offset path as the differential oracle
+// (TestStoreFastPathByteIdentity pins byte identity).
 func (er *EncodedRule) store(w []byte, pos int) {
+	s := w[pos*(RuleBits/8):]
+	// Bits 0..63: the four port bounds.
+	binary.LittleEndian.PutUint64(s[0:8],
+		uint64(er.SrcPortLo)|uint64(er.SrcPortHi)<<16|
+			uint64(er.DstPortLo)<<32|uint64(er.DstPortHi)<<48)
+	// Bits 64..127: SrcAddr(32) | SrcCode(3) | DstAddr low 29 bits.
+	// The DstAddr shift by 35 truncates at bit 63, keeping its bits
+	// 0..28; the straddling high 3 bits land in the next store.
+	binary.LittleEndian.PutUint64(s[8:16],
+		uint64(er.SrcAddr)|uint64(er.SrcCode&7)<<32|uint64(er.DstAddr)<<35)
+	// Bits 128..159: DstAddr high 3 | DstCode(3) | ProtoVal(8) |
+	// ProtoWild | ID(16) | End.
+	binary.LittleEndian.PutUint32(s[16:20],
+		uint32(er.DstAddr>>29)|uint32(er.DstCode&7)<<3|
+			uint32(er.ProtoVal)<<6|uint32(b2u(er.ProtoWild))<<14|
+			uint32(er.ID)<<15|uint32(b2u(er.End))<<31)
+}
+
+// storeBitwise is the original field-by-field bit-packing path, kept as
+// the differential oracle for the byte-aligned store above.
+func (er *EncodedRule) storeBitwise(w []byte, pos int) {
 	base := uint(pos * RuleBits)
 	setBits(w, base+ruleOffSrcPortLo, 16, uint64(er.SrcPortLo))
 	setBits(w, base+ruleOffSrcPortHi, 16, uint64(er.SrcPortHi))

@@ -4,8 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 )
 
 // Packet trace serialization: one packet per line as five tab-separated
@@ -34,7 +32,7 @@ func ReadTrace(r io.Reader) ([]Packet, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		p, ok, err := ParseTraceLine(sc.Text())
+		p, ok, err := ParseTraceLineBytes(sc.Bytes())
 		if err != nil {
 			return nil, fmt.Errorf("trace line %d: %w", lineNo, err)
 		}
@@ -53,21 +51,56 @@ func ReadTrace(r io.Reader) ([]Packet, error) {
 // failures return an error without line context, which streaming callers
 // wrap with their own position.
 func ParseTraceLine(line string) (p Packet, ok bool, err error) {
-	line = strings.TrimSpace(line)
-	if line == "" || strings.HasPrefix(line, "#") {
+	return ParseTraceLineBytes([]byte(line))
+}
+
+// ParseTraceLineBytes is ParseTraceLine over a byte slice. It performs
+// no allocations on any path (the fields are parsed in place, not
+// split out), so streaming readers can feed it a scanner's reused token
+// buffer and stay allocation-free per packet. The slice is not retained.
+func ParseTraceLineBytes(line []byte) (p Packet, ok bool, err error) {
+	i, n := 0, len(line)
+	skipSpace := func() {
+		for i < n && isSpace(line[i]) {
+			i++
+		}
+	}
+	skipSpace()
+	if i == n || line[i] == '#' {
 		return Packet{}, false, nil
 	}
-	fields := strings.Fields(line)
-	if len(fields) < 5 {
-		return Packet{}, false, fmt.Errorf("want 5 fields, got %d", len(fields))
-	}
 	var vals [5]uint64
-	for i := 0; i < 5; i++ {
-		v, err := strconv.ParseUint(fields[i], 10, 32)
-		if err != nil {
-			return Packet{}, false, fmt.Errorf("field %d: %v", i+1, err)
+	for f := 0; f < 5; f++ {
+		skipSpace()
+		start := i
+		var v uint64
+		for i < n && line[i] >= '0' && line[i] <= '9' {
+			v = v*10 + uint64(line[i]-'0')
+			if v > 1<<32-1 {
+				return Packet{}, false, fmt.Errorf("field %d: value out of range", f+1)
+			}
+			i++
 		}
-		vals[i] = v
+		if i == start {
+			if i < n {
+				return Packet{}, false, fmt.Errorf("field %d: invalid syntax", f+1)
+			}
+			return Packet{}, false, fmt.Errorf("want 5 fields, got %d", f)
+		}
+		if i < n && !isSpace(line[i]) {
+			return Packet{}, false, fmt.Errorf("field %d: invalid syntax", f+1)
+		}
+		vals[f] = v
+	}
+	// A sixth column (ClassBench flow ID) is tolerated; anything
+	// non-numeric there is still an error.
+	skipSpace()
+	for i < n && line[i] >= '0' && line[i] <= '9' {
+		i++
+	}
+	skipSpace()
+	if i < n {
+		return Packet{}, false, fmt.Errorf("trailing garbage after packet fields")
 	}
 	if vals[2] > 0xFFFF || vals[3] > 0xFFFF {
 		return Packet{}, false, fmt.Errorf("port out of range")
@@ -82,4 +115,8 @@ func ParseTraceLine(line string) (p Packet, ok bool, err error) {
 		DstPort: uint16(vals[3]),
 		Proto:   uint8(vals[4]),
 	}, true, nil
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' || c == '\f'
 }

@@ -1,0 +1,78 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rule"
+	"repro/internal/wire"
+)
+
+// BenchmarkIngest is the end-to-end ingest number the line-rate work is
+// accountable to, at the acceptance-criteria operating point (10k rules,
+// flow-locality trace): framed bytes in, result lines out, through the
+// full reader → classify → writer pipeline. Reported per sub-benchmark:
+// pps end to end and allocs_pkt (heap allocations per packet, from
+// Stats.Allocs — steady state must stay far below 1; the binary decode
+// itself is pinned to 0 by TestReadBatchZeroAllocs).
+func BenchmarkIngest(b *testing.B) {
+	const rules = 10000
+	rs := classbench.Generate(classbench.ACL1(), rules, 41)
+	tree, err := core.Build(rs, core.DefaultConfig(core.HyperCuts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := classbench.GenerateFlowTrace(rs, 8*BatchSize, rules/4, 16, 42)
+
+	var text, bin bytes.Buffer
+	if err := rule.WriteTrace(&text, trace); err != nil {
+		b.Fatal(err)
+	}
+	if err := wire.WriteTrace(&bin, trace); err != nil {
+		b.Fatal(err)
+	}
+
+	newHandle := func(cache bool) *engine.Handle {
+		h := engine.NewHandle(engine.Compile(tree))
+		if cache {
+			h.EnableCache(rules)
+		}
+		return h
+	}
+	cases := []struct {
+		name  string
+		data  []byte
+		cache bool
+	}{
+		{"text", text.Bytes(), false},
+		{"binary", bin.Bytes(), false},
+		{"binary+cache", bin.Bytes(), true},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			h := newHandle(tc.cache)
+			src := bytes.NewReader(tc.data)
+			if _, err := Run(h, src, io.Discard); err != nil { // warm
+				b.Fatal(err)
+			}
+			var packets, allocs int64
+			b.SetBytes(int64(len(tc.data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src.Reset(tc.data)
+				st, err := Run(h, src, io.Discard)
+				if err != nil {
+					b.Fatal(err)
+				}
+				packets += st.Packets
+				allocs += st.Allocs
+			}
+			b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "pps")
+			b.ReportMetric(float64(allocs)/float64(packets), "allocs_pkt")
+		})
+	}
+}

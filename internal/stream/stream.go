@@ -1,0 +1,471 @@
+// Package stream is the line-rate ingest pipeline: it pulls packet
+// batches from a framed source (binary wire format, pcap capture, or the
+// legacy text trace as a compatibility shim), classifies them on the
+// epoch-snapshot engine via engine.Handle.ParallelClassifyCached, and
+// serializes result IDs — one decimal per line, the format the text
+// streamer always produced — without ever stalling the classify stage on
+// output.
+//
+// Dataflow (DESIGN.md §9):
+//
+//	            free ring                work ring               done ring
+//	source ──► [slot pkts] ──reader──► [classify+encode] ──► [writer] ──► w
+//	   ▲                                                        │
+//	   └────────────────── slots recycle ───────────────────────┘
+//
+// A fixed ring of slots carries reused packet/result/output buffers
+// through three stages running on their own goroutines, so frame
+// decoding, classification and result serialization overlap. Within the
+// classify stage the batch is sharded across cores by
+// ParallelClassifyCached, and each core's results are formatted into its
+// own segment of the slot's per-core result ring — the writer drains the
+// segments in order, so output serialization never blocks a classify
+// worker. Steady state performs zero allocations per packet; the only
+// per-batch allocations are the goroutine fan-outs.
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/rule"
+	"repro/internal/wire"
+)
+
+// BatchSize is the number of packets per pipeline slot: the granularity
+// of classification dispatch and of epoch observation.
+const BatchSize = 4096
+
+// slots is the pipeline ring depth: one slot being filled, one being
+// classified, one being written, one of slack.
+const slots = 4
+
+// Stats describes one finished stream, the observables that make ingest
+// regressions visible.
+type Stats struct {
+	// Packets is the number of packets classified and delivered.
+	Packets int64
+	// Batches is the number of pipeline dispatches (≤ BatchSize packets
+	// each).
+	Batches int64
+	// Allocs approximates the heap allocations the stream performed:
+	// the process-wide heap-object allocation delta across the call
+	// (runtime/metrics, no stop-the-world). Exact when nothing else
+	// runs concurrently; steady-state ingest keeps it to a small
+	// per-batch constant (goroutine fan-out), so Allocs/Packets far
+	// below 1 is the expected regime on every path.
+	Allocs int64
+	// Binary reports that the source was detected as binary-framed
+	// (wire format or pcap) rather than the text shim.
+	Binary bool
+}
+
+// slot is one ring entry: reused input, result and per-core output
+// buffers plus the batch's read status.
+type slot struct {
+	pkts []rule.Packet
+	out  []int32
+	segs [][]byte // per-core formatted results (the writer-side ring)
+	n    int
+	err  error
+}
+
+// textSource adapts the legacy text trace format (rule.WriteTrace lines)
+// to the BatchReader contract. It reuses the scanner's token buffer and
+// parses with rule.ParseTraceLineBytes, so the shim allocates nothing
+// per packet either — it is slower than binary framing only because
+// decimal parsing is inherently slower than slicing fixed-width records.
+type textSource struct {
+	sc     *bufio.Scanner
+	buf    []byte // pooled scanner buffer, returned by Run when safe
+	lineNo int
+}
+
+func newTextSource(r io.Reader) *textSource {
+	sc := bufio.NewScanner(r)
+	buf, _ := scanBufPool.Get().(*[]byte)
+	if buf == nil {
+		b := make([]byte, 0, 64*1024)
+		buf = &b
+	}
+	sc.Buffer(*buf, 1024*1024)
+	return &textSource{sc: sc, buf: *buf}
+}
+
+func (t *textSource) ReadBatch(pkts []rule.Packet) (int, error) {
+	n := 0
+	for n < len(pkts) {
+		if !t.sc.Scan() {
+			if err := t.sc.Err(); err != nil {
+				return n, err
+			}
+			return n, io.EOF
+		}
+		t.lineNo++
+		p, ok, err := rule.ParseTraceLineBytes(t.sc.Bytes())
+		if err != nil {
+			return n, fmt.Errorf("trace line %d: %w", t.lineNo, err)
+		}
+		if !ok {
+			continue
+		}
+		pkts[n] = p
+		n++
+	}
+	return n, nil
+}
+
+// Detect sniffs r (buffered) and returns the matching batch source:
+// native wire framing, a pcap capture, or the text shim. It consumes
+// nothing — detection is a Peek.
+func Detect(br *bufio.Reader) (src wire.BatchReader, binary bool) {
+	head, _ := br.Peek(4)
+	switch {
+	case wire.IsMagic(head):
+		return wire.NewReader(br), true
+	case wire.IsPcapMagic(head):
+		return wire.NewPcapReader(br), true
+	default:
+		return newTextSource(br), false
+	}
+}
+
+// Fixed-cost pools: every buffer a stream needs besides the slot ring —
+// the input bufio layer, the framed decoders with their ring buffers,
+// the text scanner's token buffer, the output bufio layer — is recycled
+// across runs, so back-to-back short streams do not pay ~½ MiB of
+// allocation and page-faulting per call. Decoder-side entries return to
+// their pool only when the reader stage provably exited (same rule as
+// the slot ring); the writer side always returns because stage 3 runs
+// on the calling goroutine.
+var (
+	brPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 64*1024) }}
+	bwPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, 64*1024) }}
+
+	wireRdPool  sync.Pool // *wire.Reader
+	pcapRdPool  sync.Pool // *wire.PcapReader
+	scanBufPool sync.Pool // *[]byte (bufio.Scanner token buffer)
+)
+
+// heapAllocsMetric is the cumulative heap-object allocation counter —
+// the runtime/metrics equivalent of MemStats.Mallocs, readable without
+// a stop-the-world.
+const heapAllocsMetric = "/gc/heap/allocs:objects"
+
+func heapAllocs() int64 {
+	s := []metrics.Sample{{Name: heapAllocsMetric}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return int64(s[0].Value.Uint64())
+}
+
+// Run streams packets from r through h into w: reads are auto-detected
+// as binary wire framing, pcap, or text lines; results are written as
+// one decimal rule ID per line in input order. Classification follows
+// epoch snapshots batch by batch, so concurrent updates through h never
+// stall the stream. On error, every result already written corresponds
+// to a delivered packet (the writer flushes before returning) and
+// Stats.Packets counts exactly those.
+func Run(h *engine.Handle, r io.Reader, w io.Writer) (Stats, error) {
+	a0 := heapAllocs()
+	br, ok := r.(*bufio.Reader)
+	pooledBR := false
+	if !ok {
+		br = brPool.Get().(*bufio.Reader)
+		br.Reset(r)
+		pooledBR = true
+	}
+	// Detection mirrors Detect but draws the decoder from a pool; Detect
+	// itself stays allocation-simple for one-shot callers.
+	head, _ := br.Peek(4)
+	var (
+		src      wire.BatchReader
+		isBinary bool
+		wrd      *wire.Reader
+		prd      *wire.PcapReader
+		txt      *textSource
+	)
+	switch {
+	case wire.IsMagic(head):
+		wrd, _ = wireRdPool.Get().(*wire.Reader)
+		if wrd == nil {
+			wrd = wire.NewReader(br)
+		} else {
+			wrd.Reset(br)
+		}
+		src, isBinary = wrd, true
+	case wire.IsPcapMagic(head):
+		prd, _ = pcapRdPool.Get().(*wire.PcapReader)
+		if prd == nil {
+			prd = wire.NewPcapReader(br)
+		} else {
+			prd.Reset(br)
+		}
+		src, isBinary = prd, true
+	default:
+		txt = newTextSource(br)
+		src = txt
+	}
+	st, safe, err := run(h, src, w)
+	st.Binary = isBinary
+	if safe {
+		switch {
+		case wrd != nil:
+			wrd.Reset(nil)
+			wireRdPool.Put(wrd)
+		case prd != nil:
+			prd.Reset(nil)
+			pcapRdPool.Put(prd)
+		case txt != nil:
+			buf := txt.buf
+			scanBufPool.Put(&buf)
+		}
+		if pooledBR {
+			br.Reset(nil)
+			brPool.Put(br)
+		}
+	}
+	st.Allocs = heapAllocs() - a0
+	return st, err
+}
+
+// encWorkers is the per-slot result-segment count: every classify core
+// gets its own output ring segment. Capped so segment bookkeeping stays
+// trivial on very wide hosts.
+func encWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 16 {
+		w = 16
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// slotRing is the set of slots one pipeline run cycles through. Rings
+// are pooled across runs so a stream's fixed cost does not include
+// allocating (and faulting in) ~360 KiB of batch buffers.
+type slotRing struct {
+	slots   [slots]*slot
+	workers int
+}
+
+var ringPool sync.Pool
+
+func getRing(workers int) *slotRing {
+	if r, _ := ringPool.Get().(*slotRing); r != nil && r.workers == workers {
+		return r
+	}
+	r := &slotRing{workers: workers}
+	for i := range r.slots {
+		s := &slot{
+			pkts: make([]rule.Packet, BatchSize),
+			out:  make([]int32, BatchSize),
+			segs: make([][]byte, workers),
+		}
+		for k := range s.segs {
+			s.segs[k] = make([]byte, 0, 8*BatchSize/workers+16)
+		}
+		r.slots[i] = s
+	}
+	return r
+}
+
+// run executes the three-stage pipeline. The second return reports
+// whether both stage goroutines exited — i.e. whether buffers the
+// source or slots reference may be recycled by the caller.
+func run(h *engine.Handle, src wire.BatchReader, w io.Writer) (Stats, bool, error) {
+	var st Stats
+	workers := encWorkers()
+	free := make(chan *slot, slots)
+	work := make(chan *slot, slots)
+	done := make(chan *slot, slots)
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	stop := func() { abortOnce.Do(func() { close(abort) }) }
+	// exited counts finished stage goroutines; the ring returns to the
+	// pool only if both stages are provably done with its slots (on the
+	// abort path the reader may still be blocked inside src.ReadBatch —
+	// then the ring is simply left to the GC rather than joined on,
+	// since a blocking source must not delay the error return).
+	var exited atomic.Int32
+	ring := getRing(workers)
+	for _, s := range ring.slots {
+		free <- s
+	}
+
+	// Stage 1: frame decoding. Fills slots from the free ring and hands
+	// them to the classify stage in input order.
+	go func() {
+		defer close(work)
+		defer exited.Add(1)
+		for {
+			var s *slot
+			select {
+			case s = <-free:
+			case <-abort:
+				return
+			}
+			n, err := src.ReadBatch(s.pkts)
+			s.n, s.err = n, err
+			if err == io.EOF {
+				s.err = nil
+				if n == 0 {
+					return
+				}
+			}
+			select {
+			case work <- s:
+			case <-abort:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	// Stage 2: classification + result formatting. One goroutine keeps
+	// slot order; parallelism lives inside ParallelClassifyCached and
+	// the per-core segment encoders.
+	go func() {
+		defer close(done)
+		defer exited.Add(1)
+		for s := range work {
+			if s.err == nil && s.n > 0 {
+				h.ParallelClassifyCached(s.pkts[:s.n], s.out[:s.n], 0)
+				encodeSegments(s, workers)
+			}
+			select {
+			case done <- s:
+			case <-abort:
+				return
+			}
+		}
+	}()
+
+	// Stage 3 (this goroutine): drain the done ring in order, write each
+	// slot's segments, recycle the slot.
+	bw := bwPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	var firstErr error
+	for s := range done {
+		if firstErr == nil && s.err == nil && s.n > 0 {
+			for _, seg := range s.segs {
+				if len(seg) == 0 {
+					continue
+				}
+				if _, err := bw.Write(seg); err != nil {
+					firstErr = err
+					stop()
+					break
+				}
+			}
+			if firstErr == nil {
+				st.Packets += int64(s.n)
+				st.Batches++
+			}
+		}
+		if firstErr == nil && s.err != nil {
+			// Source error: packets decoded before the failure in this
+			// slot are deliberately not classified or delivered — a
+			// corrupt frame invalidates its partial batch.
+			firstErr = s.err
+			stop()
+		}
+		select {
+		case free <- s:
+		default:
+		}
+	}
+	stop()
+	// done closing happens after both stage goroutines' exited.Add on
+	// the clean path, so 2 here proves no goroutine still touches the
+	// ring's buffers (or the source's).
+	safe := exited.Load() == 2
+	if safe {
+		ringPool.Put(ring)
+	}
+	if err := bw.Flush(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	bw.Reset(nil)
+	bwPool.Put(bw)
+	return st, safe, firstErr
+}
+
+// encodeSegments formats the slot's result IDs into its per-core
+// segments: worker k owns one contiguous chunk of the batch and appends
+// "id\n" lines into its own reused buffer, so no two cores share an
+// output buffer and the writer can emit segments in order.
+func encodeSegments(s *slot, workers int) {
+	n := s.n
+	for k := range s.segs {
+		s.segs[k] = s.segs[k][:0]
+	}
+	if workers <= 1 || n < 2*BatchSize/slots {
+		s.segs[0] = appendIDs(s.segs[0], s.out[:n])
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		lo := k * chunk
+		if lo >= n {
+			break
+		}
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			s.segs[k] = appendIDs(s.segs[k], s.out[lo:hi])
+		}(k, lo, hi)
+	}
+	wg.Wait()
+}
+
+func appendIDs(buf []byte, ids []int32) []byte {
+	// Hand-rolled itoa: strconv.AppendInt is ~a quarter of the cached
+	// hot path's CPU at line rate (it re-derives digit counts and
+	// handles bases the IDs never use). Rule IDs are almost always
+	// short non-negative decimals, so fill a small scratch backwards
+	// and append the used tail plus the newline in one copy.
+	var tmp [12]byte
+	for _, id := range ids {
+		if uint32(id) < 10 { // covers the dominant single-digit IDs
+			buf = append(buf, byte('0'+id), '\n')
+			continue
+		}
+		v := uint32(id)
+		neg := id < 0
+		if neg {
+			v = uint32(-int64(id))
+		}
+		i := len(tmp)
+		tmp[i-1] = '\n'
+		i--
+		for v >= 10 {
+			q := v / 10
+			i--
+			tmp[i] = byte('0' + v - q*10)
+			v = q
+		}
+		i--
+		tmp[i] = byte('0' + v)
+		if neg {
+			i--
+			tmp[i] = '-'
+		}
+		buf = append(buf, tmp[i:]...)
+	}
+	return buf
+}

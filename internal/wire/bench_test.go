@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/rule"
+)
+
+// BenchmarkFrameDecode measures the raw binary decode rate: framed bytes
+// to rule.Packet batches, no classification. allocs/op must stay 0 —
+// this is the zero-copy claim in microbenchmark form.
+func BenchmarkFrameDecode(b *testing.B) {
+	trace := randTrace(4*DefaultFrameRecords, 3)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	src := bytes.NewReader(data)
+	rd := NewReader(src)
+	batch := make([]rule.Packet, DefaultFrameRecords)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset(data)
+		rd.Reset(src)
+		for {
+			_, err := rd.ReadBatch(batch)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(trace))*float64(b.N)/b.Elapsed().Seconds(), "pps")
+}
+
+// BenchmarkFrameEncode measures the encode side (WriteBatch into a
+// pre-grown buffer).
+func BenchmarkFrameEncode(b *testing.B) {
+	trace := randTrace(DefaultFrameRecords, 5)
+	var buf bytes.Buffer
+	buf.Grow(2 * DefaultFrameRecords * RecordBytes)
+	wr := NewWriter(&buf)
+	b.SetBytes(int64(DefaultFrameRecords * RecordBytes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := wr.WriteBatch(trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(trace))*float64(b.N)/b.Elapsed().Seconds(), "pps")
+}
+
+// BenchmarkPcapDecode measures the pcap adapter's 5-tuple extraction rate.
+func BenchmarkPcapDecode(b *testing.B) {
+	trace := randTrace(2*DefaultFrameRecords, 7)
+	for i := range trace {
+		trace[i].Proto = protoUDP
+	}
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, trace); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	batch := make([]rule.Packet, DefaultFrameRecords)
+	src := bytes.NewReader(data)
+	rd := NewPcapReader(src)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset(data)
+		rd.Reset(src)
+		for {
+			_, err := rd.ReadBatch(batch)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(trace))*float64(b.N)/b.Elapsed().Seconds(), "pps")
+}

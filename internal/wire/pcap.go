@@ -1,0 +1,294 @@
+package wire
+
+// pcap adapter: presents a classic libpcap capture file (global header +
+// per-packet record headers + link-layer frames) through the same
+// BatchReader interface as the native wire format, so captured traffic
+// feeds the ingest pipeline unchanged. Only what classification needs is
+// decoded — the IPv4 5-tuple — and only from Ethernet (optionally
+// 802.1Q-tagged) link layers; anything else is skipped, not an error.
+// Timestamps and payload are ignored. Both byte orders and the
+// nanosecond magic variants are accepted.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/rule"
+)
+
+// pcap format constants.
+const (
+	pcapGlobalHeaderBytes = 24
+	pcapRecordHeaderBytes = 16
+	// pcapMaxPacket bounds a record's captured length; beyond it the file
+	// is treated as corrupt rather than growing the buffer without bound.
+	pcapMaxPacket = 1 << 18
+
+	pcapMagicLE   = 0xa1b2c3d4 // microsecond timestamps, file-native order
+	pcapMagicNsLE = 0xa1b23c4d // nanosecond timestamps
+
+	linktypeEthernet = 1
+
+	etherTypeIPv4 = 0x0800
+	etherTypeVLAN = 0x8100
+	etherHdr      = 14
+
+	protoTCP = 6
+	protoUDP = 17
+)
+
+// IsPcapMagic reports whether b begins with a pcap global-header magic
+// (either byte order, microsecond or nanosecond variant).
+func IsPcapMagic(b []byte) bool {
+	if len(b) < 4 {
+		return false
+	}
+	le := binary.LittleEndian.Uint32(b)
+	be := binary.BigEndian.Uint32(b)
+	return le == pcapMagicLE || le == pcapMagicNsLE || be == pcapMagicLE || be == pcapMagicNsLE
+}
+
+// PcapReader adapts a pcap capture into ReadBatch. Like Reader it owns a
+// fixed ring buffer and decodes in place: steady-state ingest from a
+// capture allocates nothing per packet.
+type PcapReader struct {
+	r       io.Reader
+	order   binary.ByteOrder
+	buf     []byte
+	lo, hi  int
+	started bool
+	err     error
+	// Skipped counts records dropped because they were not parseable
+	// IPv4-over-Ethernet (other link protocols, fragments, truncation).
+	Skipped int64
+}
+
+// NewPcapReader returns a PcapReader decoding the capture from r. The
+// global header is validated lazily on the first ReadBatch.
+func NewPcapReader(r io.Reader) *PcapReader {
+	return &PcapReader{r: r, buf: make([]byte, 1<<16)}
+}
+
+func (pr *PcapReader) avail() int { return pr.hi - pr.lo }
+
+// Reset rewires the PcapReader to decode a new capture from r, reusing
+// its buffer — the allocation-free reuse hook, mirroring Reader.Reset.
+func (pr *PcapReader) Reset(r io.Reader) {
+	pr.r = r
+	pr.order = nil
+	pr.lo, pr.hi = 0, 0
+	pr.started = false
+	pr.err = nil
+	pr.Skipped = 0
+}
+
+// fill mirrors Reader.fill, growing the buffer only for oversized
+// captured records (bounded by pcapMaxPacket).
+func (pr *PcapReader) fill(need int) error {
+	if pr.avail() >= need {
+		return nil
+	}
+	if pr.err != nil {
+		if pr.err == io.EOF && pr.avail() > 0 {
+			return io.ErrUnexpectedEOF
+		}
+		return pr.err
+	}
+	if need > len(pr.buf) {
+		grown := make([]byte, need)
+		copy(grown, pr.buf[pr.lo:pr.hi])
+		pr.buf = grown
+		pr.hi -= pr.lo
+		pr.lo = 0
+	} else if len(pr.buf)-pr.lo < need {
+		copy(pr.buf, pr.buf[pr.lo:pr.hi])
+		pr.hi -= pr.lo
+		pr.lo = 0
+	}
+	for pr.avail() < need {
+		n, err := pr.r.Read(pr.buf[pr.hi:])
+		pr.hi += n
+		if err != nil {
+			pr.err = err
+			if pr.avail() >= need {
+				return nil
+			}
+			if err == io.EOF {
+				if pr.avail() == 0 {
+					return io.EOF
+				}
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		if n == 0 {
+			pr.err = io.ErrNoProgress
+			return pr.err
+		}
+	}
+	return nil
+}
+
+// header consumes and validates the pcap global header, fixing the
+// file's byte order and link type.
+func (pr *PcapReader) header() error {
+	if err := pr.fill(pcapGlobalHeaderBytes); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("wire: truncated pcap global header: %w", io.ErrUnexpectedEOF)
+		}
+		return err
+	}
+	h := pr.buf[pr.lo : pr.lo+pcapGlobalHeaderBytes]
+	switch m := binary.LittleEndian.Uint32(h[0:4]); m {
+	case pcapMagicLE, pcapMagicNsLE:
+		pr.order = binary.LittleEndian
+	default:
+		switch m := binary.BigEndian.Uint32(h[0:4]); m {
+		case pcapMagicLE, pcapMagicNsLE:
+			pr.order = binary.BigEndian
+		default:
+			return fmt.Errorf("wire: bad pcap magic %#08x", m)
+		}
+	}
+	if lt := pr.order.Uint32(h[20:24]); lt != linktypeEthernet {
+		return fmt.Errorf("wire: pcap link type %d unsupported (want Ethernet)", lt)
+	}
+	pr.lo += pcapGlobalHeaderBytes
+	pr.started = true
+	return nil
+}
+
+// ReadBatch decodes up to len(pkts) IPv4 5-tuples from the capture.
+// Records that are not IPv4 over (optionally VLAN-tagged) Ethernet are
+// counted in Skipped and do not occupy a slot. See BatchReader.
+func (pr *PcapReader) ReadBatch(pkts []rule.Packet) (int, error) {
+	if len(pkts) == 0 {
+		return 0, nil
+	}
+	if !pr.started {
+		if err := pr.header(); err != nil {
+			if err == io.EOF {
+				return 0, fmt.Errorf("wire: empty pcap: %w", io.ErrUnexpectedEOF)
+			}
+			return 0, err
+		}
+	}
+	n := 0
+	for n < len(pkts) {
+		err := pr.fill(pcapRecordHeaderBytes)
+		if err == io.EOF {
+			return n, io.EOF
+		}
+		if err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return n, fmt.Errorf("wire: truncated pcap record header: %w", err)
+			}
+			return n, err
+		}
+		h := pr.buf[pr.lo : pr.lo+pcapRecordHeaderBytes]
+		incl := int(pr.order.Uint32(h[8:12]))
+		if incl < 0 || incl > pcapMaxPacket {
+			return n, fmt.Errorf("wire: pcap record claims %d captured bytes", incl)
+		}
+		if err := pr.fill(pcapRecordHeaderBytes + incl); err != nil {
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				return n, fmt.Errorf("wire: truncated pcap record (%d bytes captured): %w", incl, io.ErrUnexpectedEOF)
+			}
+			return n, err
+		}
+		data := pr.buf[pr.lo+pcapRecordHeaderBytes : pr.lo+pcapRecordHeaderBytes+incl]
+		pr.lo += pcapRecordHeaderBytes + incl
+		if p, ok := parseEthernetIPv4(data); ok {
+			pkts[n] = p
+			n++
+		} else {
+			pr.Skipped++
+		}
+	}
+	return n, nil
+}
+
+// parseEthernetIPv4 extracts the 5-tuple from an Ethernet frame carrying
+// IPv4. Ports are taken from the first four L4 bytes of TCP/UDP segments
+// in the first fragment; otherwise they are zero (the classifier treats
+// them as any other value).
+func parseEthernetIPv4(b []byte) (rule.Packet, bool) {
+	if len(b) < etherHdr {
+		return rule.Packet{}, false
+	}
+	et := binary.BigEndian.Uint16(b[12:14])
+	off := etherHdr
+	if et == etherTypeVLAN {
+		if len(b) < etherHdr+4 {
+			return rule.Packet{}, false
+		}
+		et = binary.BigEndian.Uint16(b[16:18])
+		off += 4
+	}
+	if et != etherTypeIPv4 {
+		return rule.Packet{}, false
+	}
+	ip := b[off:]
+	if len(ip) < 20 || ip[0]>>4 != 4 {
+		return rule.Packet{}, false
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < 20 || len(ip) < ihl {
+		return rule.Packet{}, false
+	}
+	p := rule.Packet{
+		SrcIP: binary.BigEndian.Uint32(ip[12:16]),
+		DstIP: binary.BigEndian.Uint32(ip[16:20]),
+		Proto: ip[9],
+	}
+	fragOff := binary.BigEndian.Uint16(ip[6:8]) & 0x1fff
+	if fragOff == 0 && (p.Proto == protoTCP || p.Proto == protoUDP) && len(ip) >= ihl+4 {
+		p.SrcPort = binary.BigEndian.Uint16(ip[ihl : ihl+2])
+		p.DstPort = binary.BigEndian.Uint16(ip[ihl+2 : ihl+4])
+	}
+	return p, true
+}
+
+// WritePcap serializes a trace as a minimal pcap capture: Ethernet +
+// IPv4 + an 8-byte generic L4 stub carrying the ports. It exists so
+// ingest-bench fixtures are reproducible from the CLI alone (pcgen
+// -pcap); it is a capture of synthetic headers, not a packet generator.
+func WritePcap(w io.Writer, trace []rule.Packet) error {
+	var gh [pcapGlobalHeaderBytes]byte
+	binary.LittleEndian.PutUint32(gh[0:4], pcapMagicLE)
+	binary.LittleEndian.PutUint16(gh[4:6], 2) // version 2.4
+	binary.LittleEndian.PutUint16(gh[6:8], 4)
+	binary.LittleEndian.PutUint32(gh[16:20], pcapMaxPacket) // snaplen
+	binary.LittleEndian.PutUint32(gh[20:24], linktypeEthernet)
+	if _, err := w.Write(gh[:]); err != nil {
+		return err
+	}
+	const frameLen = etherHdr + 20 + 8
+	var rec [pcapRecordHeaderBytes + frameLen]byte
+	for i, p := range trace {
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(i)) // synthetic ts_sec
+		binary.LittleEndian.PutUint32(rec[8:12], frameLen)
+		binary.LittleEndian.PutUint32(rec[12:16], frameLen)
+		f := rec[pcapRecordHeaderBytes:]
+		for j := 0; j < 12; j++ {
+			f[j] = 0x02 // locally administered placeholder MACs
+		}
+		binary.BigEndian.PutUint16(f[12:14], etherTypeIPv4)
+		ip := f[etherHdr:]
+		ip[0] = 0x45 // v4, IHL 5
+		binary.BigEndian.PutUint16(ip[2:4], 20+8)
+		ip[8] = 64 // TTL
+		ip[9] = p.Proto
+		binary.BigEndian.PutUint32(ip[12:16], p.SrcIP)
+		binary.BigEndian.PutUint32(ip[16:20], p.DstIP)
+		l4 := ip[20:]
+		binary.BigEndian.PutUint16(l4[0:2], p.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:4], p.DstPort)
+		l4[4], l4[5], l4[6], l4[7] = 0, 0, 0, 0
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,360 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rule"
+)
+
+func randTrace(n int, seed int64) []rule.Packet {
+	rng := rand.New(rand.NewSource(seed))
+	trace := make([]rule.Packet, n)
+	for i := range trace {
+		trace[i] = rule.Packet{
+			SrcIP:   rng.Uint32(),
+			DstIP:   rng.Uint32(),
+			SrcPort: uint16(rng.Uint32()),
+			DstPort: uint16(rng.Uint32()),
+			Proto:   uint8(rng.Uint32()),
+		}
+	}
+	return trace
+}
+
+func encodeTrace(t *testing.T, trace []rule.Packet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, DefaultFrameRecords, DefaultFrameRecords + 1, 3*DefaultFrameRecords + 13} {
+		trace := randTrace(n, int64(n)+1)
+		data := encodeTrace(t, trace)
+		wantLen := HeaderBytes
+		if n > 0 {
+			frames := (n + DefaultFrameRecords - 1) / DefaultFrameRecords
+			wantLen += frames*FrameHeaderBytes + n*RecordBytes
+		}
+		if len(data) != wantLen {
+			t.Fatalf("n=%d: encoded %d bytes, want %d", n, len(data), wantLen)
+		}
+		got, err := ReadAll(NewReader(bytes.NewReader(data)))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d packets", n, len(got))
+		}
+		for i := range got {
+			if got[i] != trace[i] {
+				t.Fatalf("n=%d: packet %d: got %+v want %+v", n, i, got[i], trace[i])
+			}
+		}
+	}
+}
+
+// TestWriteBatchFrameSplit pins that oversized batches split into
+// MaxFrameRecords frames and still round-trip.
+func TestWriteBatchFrameSplit(t *testing.T) {
+	trace := randTrace(MaxFrameRecords+100, 3)
+	var buf bytes.Buffer
+	wr := NewWriter(&buf)
+	if err := wr.WriteBatch(trace); err != nil {
+		t.Fatal(err)
+	}
+	want := HeaderBytes + 2*FrameHeaderBytes + len(trace)*RecordBytes
+	if buf.Len() != want {
+		t.Fatalf("encoded %d bytes, want %d (two frames)", buf.Len(), want)
+	}
+	got, err := ReadAll(NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trace) {
+		t.Fatalf("decoded %d packets, want %d", len(got), len(trace))
+	}
+}
+
+// chunkReader yields fixed-size chunks so frame headers and records
+// split across Read boundaries — the binary sibling of the text
+// framing test in stream_framing_test.go.
+type chunkReader struct {
+	data []byte
+	pos  int
+	size int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if c.pos >= len(c.data) {
+		return 0, io.EOF
+	}
+	n := min(min(c.size, len(p)), len(c.data)-c.pos)
+	copy(p, c.data[c.pos:c.pos+n])
+	c.pos += n
+	return n, nil
+}
+
+// oneByteReader yields one byte per Read.
+type oneByteReader struct{ r io.Reader }
+
+func (o oneByteReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+func TestReaderShortReads(t *testing.T) {
+	trace := randTrace(2*DefaultFrameRecords+37, 7)
+	data := encodeTrace(t, trace)
+	readers := map[string]func() io.Reader{
+		"one-byte": func() io.Reader { return oneByteReader{bytes.NewReader(data)} },
+		// 7 and 13 land mid-record and mid-frame-header at varying
+		// offsets; RecordBytes-1 guarantees every record crosses a read;
+		// a large prime stride splits exactly at a few frame boundaries.
+		"chunk-7":     func() io.Reader { return &chunkReader{data: data, size: 7} },
+		"chunk-13":    func() io.Reader { return &chunkReader{data: data, size: 13} },
+		"chunk-19":    func() io.Reader { return &chunkReader{data: data, size: RecordBytes - 1} },
+		"chunk-65521": func() io.Reader { return &chunkReader{data: data, size: 65521} },
+	}
+	for name, mk := range readers {
+		t.Run(name, func(t *testing.T) {
+			// Odd batch size so batch boundaries drift across frames.
+			rd := NewReader(mk())
+			batch := make([]rule.Packet, 1000)
+			var got []rule.Packet
+			for {
+				n, err := rd.ReadBatch(batch)
+				got = append(got, batch[:n]...)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if len(got) != len(trace) {
+				t.Fatalf("decoded %d packets, want %d", len(got), len(trace))
+			}
+			for i := range got {
+				if got[i] != trace[i] {
+					t.Fatalf("packet %d differs", i)
+				}
+			}
+		})
+	}
+}
+
+// TestTruncation pins that a stream cut at every possible byte offset
+// fails with an error (or yields a clean prefix at a frame boundary) —
+// never a panic, never phantom packets.
+func TestTruncation(t *testing.T) {
+	trace := randTrace(70, 11)
+	var buf bytes.Buffer
+	wr := NewWriter(&buf)
+	for i := 0; i < len(trace); i += 33 { // several small frames
+		if err := wr.WriteBatch(trace[i:min(i+33, len(trace))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := buf.Bytes()
+	// HeaderBytes alone is the valid empty-stream encoding.
+	frameEnds := map[int]bool{HeaderBytes: true}
+	off := HeaderBytes
+	for _, fn := range []int{33, 33, 4} {
+		off += FrameHeaderBytes + fn*RecordBytes
+		frameEnds[off] = true
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		got, err := ReadAll(NewReader(bytes.NewReader(data[:cut])))
+		if frameEnds[cut] {
+			if err != nil {
+				t.Fatalf("cut %d at frame boundary: unexpected error %v", cut, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("cut %d: truncated stream decoded cleanly (%d packets)", cut, len(got))
+		}
+	}
+}
+
+// TestCorruptHeaders pins rejection of wrong magic, version, record
+// size, flags and frame markers.
+func TestCorruptHeaders(t *testing.T) {
+	data := encodeTrace(t, randTrace(5, 13))
+	cases := map[string]func(b []byte){
+		"magic":        func(b []byte) { b[0] = 'X' },
+		"version":      func(b []byte) { b[4] = 99 },
+		"recordsize":   func(b []byte) { b[5] = 16 },
+		"flags":        func(b []byte) { b[6] = 1 },
+		"frame-marker": func(b []byte) { b[HeaderBytes] = 0x00 },
+		"reserved":     func(b []byte) { b[HeaderBytes+4] = 1 },
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			b := bytes.Clone(data)
+			corrupt(b)
+			if _, err := ReadAll(NewReader(bytes.NewReader(b))); err == nil {
+				t.Fatal("corrupt stream decoded cleanly")
+			}
+		})
+	}
+}
+
+// TestZeroCountFrame pins that a frame claiming zero records is
+// rejected rather than looping forever.
+func TestZeroCountFrame(t *testing.T) {
+	data := encodeTrace(t, randTrace(3, 17))
+	data[HeaderBytes+2] = 0 // count lo byte
+	data[HeaderBytes+3] = 0 // count hi byte
+	if _, err := ReadAll(NewReader(bytes.NewReader(data))); err == nil {
+		t.Fatal("zero-count frame decoded cleanly")
+	}
+}
+
+// TestReadBatchZeroAllocs is the allocation-regression gate for the
+// binary hot path: decoding a whole framed stream into a reused batch
+// buffer must allocate nothing — 0 allocs/packet steady-state, the
+// property that lets the cached classify path run at ingest line rate.
+func TestReadBatchZeroAllocs(t *testing.T) {
+	trace := randTrace(3*DefaultFrameRecords, 19)
+	data := encodeTrace(t, trace)
+	src := bytes.NewReader(data)
+	rd := NewReader(src)
+	batch := make([]rule.Packet, DefaultFrameRecords)
+	var decoded int
+	allocs := testing.AllocsPerRun(20, func() {
+		src.Reset(data)
+		rd.Reset(src)
+		for {
+			n, err := rd.ReadBatch(batch)
+			decoded += n
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("binary decode allocated %.2f times per stream pass (want 0)", allocs)
+	}
+	if decoded == 0 {
+		t.Fatal("decoded nothing")
+	}
+}
+
+// TestWriteBatchZeroAllocs: the encode side reuses its frame buffer.
+func TestWriteBatchZeroAllocs(t *testing.T) {
+	trace := randTrace(DefaultFrameRecords, 23)
+	var buf bytes.Buffer
+	buf.Grow(1 << 20)
+	wr := NewWriter(&buf)
+	if err := wr.WriteBatch(trace); err != nil { // warm the frame buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		buf.Reset()
+		if err := wr.WriteBatch(trace); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("binary encode allocated %.2f times per batch (want 0)", allocs)
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	trace := randTrace(500, 29)
+	// The pcap adapter recovers ports only for first-fragment TCP/UDP;
+	// normalize the expectation accordingly.
+	want := make([]rule.Packet, len(trace))
+	for i, p := range trace {
+		if i%3 == 0 {
+			p.Proto = protoTCP
+		} else if i%3 == 1 {
+			p.Proto = protoUDP
+		}
+		trace[i] = p
+		if p.Proto != protoTCP && p.Proto != protoUDP {
+			p.SrcPort, p.DstPort = 0, 0
+		}
+		want[i] = p
+	}
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	if !IsPcapMagic(buf.Bytes()) {
+		t.Fatal("WritePcap output not recognized by IsPcapMagic")
+	}
+	for name, mk := range map[string]func() io.Reader{
+		"whole":   func() io.Reader { return bytes.NewReader(buf.Bytes()) },
+		"chunk-7": func() io.Reader { return &chunkReader{data: buf.Bytes(), size: 7} },
+	} {
+		t.Run(name, func(t *testing.T) {
+			got, err := ReadAll(NewPcapReader(mk()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("decoded %d packets, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("packet %d: got %+v want %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPcapSkipsNonIPv4 pins that non-IPv4 records are skipped (counted),
+// not errors, and that truncated captures error instead of panicking.
+func TestPcapSkipsNonIPv4(t *testing.T) {
+	trace := randTrace(10, 31)
+	for i := range trace {
+		trace[i].Proto = protoUDP
+	}
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip the ethertype of record 3 to ARP.
+	rec3 := pcapGlobalHeaderBytes + 3*(pcapRecordHeaderBytes+etherHdr+28) + pcapRecordHeaderBytes + 12
+	data[rec3], data[rec3+1] = 0x08, 0x06
+	pr := NewPcapReader(bytes.NewReader(data))
+	got, err := ReadAll(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9 || pr.Skipped != 1 {
+		t.Fatalf("decoded %d packets (skipped %d), want 9 (skipped 1)", len(got), pr.Skipped)
+	}
+	// Truncations at every offset: error or clean prefix, never a panic.
+	for cut := 0; cut <= len(data); cut += 5 {
+		ReadAll(NewPcapReader(bytes.NewReader(data[:cut])))
+	}
+}
+
+func TestDetectMagics(t *testing.T) {
+	if !IsMagic(encodeTrace(t, nil)) {
+		t.Fatal("binary header not self-recognized")
+	}
+	if IsMagic([]byte("1\t2\t3")) || IsPcapMagic([]byte("1\t2\t3")) {
+		t.Fatal("text trace misdetected as binary")
+	}
+	if IsMagic(nil) || IsPcapMagic(nil) {
+		t.Fatal("empty input misdetected")
+	}
+}

@@ -26,10 +26,8 @@
 package repro
 
 import (
-	"bufio"
 	"fmt"
 	"io"
-	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -44,6 +42,7 @@ import (
 	"repro/internal/linear"
 	"repro/internal/rule"
 	"repro/internal/sa1100"
+	"repro/internal/stream"
 )
 
 // Re-exported primitive types.
@@ -670,75 +669,46 @@ func (a *Accelerator) SoftwareEngine() *Engine {
 // StreamBatch is the number of packets ClassifyStream classifies per
 // engine-shard dispatch (and the granularity at which it observes
 // concurrent rule updates).
-const StreamBatch = 4096
+const StreamBatch = stream.BatchSize
 
-// ClassifyStream reads a packet trace from r (the text trace format of
-// WriteTrace: five tab-separated decimal fields per line, '#' comments
-// tolerated) and writes one matched rule ID per line to w, returning the
-// number of packets classified.
+// StreamStats reports what a finished ClassifyStream run did: packets
+// delivered, pipeline batches dispatched, the approximate heap
+// allocations the stream performed (steady-state binary ingest stays
+// far below one per packet), and whether binary framing was detected.
+// See internal/stream.Stats for field semantics.
+type StreamStats = stream.Stats
+
+// ClassifyStream reads a packet trace from r and writes one matched rule
+// ID per line to w, returning the number of packets classified. The
+// input framing is auto-detected from its first bytes:
 //
-// Packets are classified in batches of StreamBatch sharded across all
-// cores, through the flow cache when Config.CacheSize is set. Each batch
-// captures the newest epoch snapshot, so a stream served concurrently
-// with Insert/Delete keeps running at full rate — updates land between
-// batches, never mid-batch, and never stall the stream (the lock-free
-// snapshot handle is the only coupling).
+//   - the binary wire format (internal/wire, pcgen -binary): fixed-width
+//     20-byte records framed for zero-copy batch decoding — the line-rate
+//     ingest path, no per-packet parsing or allocation;
+//   - a pcap capture (pcgen -pcap or real captures): Ethernet/IPv4
+//     5-tuples are extracted, non-IPv4 records are skipped;
+//   - otherwise the text trace format of WriteTrace (five tab-separated
+//     decimal fields per line, '#' comments tolerated), kept as a
+//     compatibility shim over the same batch pipeline.
+//
+// Packets flow through a ring-buffered three-stage pipeline (decode →
+// classify → write) in batches of StreamBatch, classified across all
+// cores through the flow cache when Config.CacheSize is set, with
+// per-core result buffers so output serialization never stalls the
+// classify workers. Each batch captures the newest epoch snapshot, so a
+// stream served concurrently with Insert/Delete keeps running at full
+// rate — updates land between batches, never mid-batch, and never stall
+// the stream (the lock-free snapshot handle is the only coupling).
 func (a *Accelerator) ClassifyStream(r io.Reader, w io.Writer) (int64, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	bw := bufio.NewWriter(w)
-	pkts := make([]rule.Packet, 0, StreamBatch)
-	out := make([]int32, StreamBatch)
-	num := make([]byte, 0, 16)
-	var total int64
-	flush := func() error {
-		if len(pkts) == 0 {
-			return nil
-		}
-		// The cached parallel path falls through to the plain engine
-		// shards when no cache is configured.
-		a.handle.ParallelClassifyCached(pkts, out[:len(pkts)], 0)
-		for _, id := range out[:len(pkts)] {
-			num = strconv.AppendInt(num[:0], int64(id), 10)
-			num = append(num, '\n')
-			if _, err := bw.Write(num); err != nil {
-				return err
-			}
-		}
-		total += int64(len(pkts))
-		pkts = pkts[:0]
-		return nil
-	}
-	// Error returns flush the writer first so total never counts result
-	// lines still buffered (i.e. never delivered to w).
-	fail := func(err error) (int64, error) {
-		bw.Flush()
-		return total, err
-	}
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		p, ok, err := rule.ParseTraceLine(sc.Text())
-		if err != nil {
-			return fail(fmt.Errorf("repro: trace line %d: %w", lineNo, err))
-		}
-		if !ok {
-			continue
-		}
-		pkts = append(pkts, p)
-		if len(pkts) == StreamBatch {
-			if err := flush(); err != nil {
-				return fail(err)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return fail(err)
-	}
-	if err := flush(); err != nil {
-		return fail(err)
-	}
-	return total, bw.Flush()
+	st, err := a.ClassifyStreamStats(r, w)
+	return st.Packets, err
+}
+
+// ClassifyStreamStats is ClassifyStream returning the full stream
+// observables (packets, batches, allocations, detected framing) so
+// ingest regressions are measurable in production and in tests.
+func (a *Accelerator) ClassifyStreamStats(r io.Reader, w io.Writer) (StreamStats, error) {
+	return stream.Run(a.handle, r, w)
 }
 
 // Classify returns the highest-priority matching rule ID for p, or -1.

@@ -8,17 +8,20 @@
 #
 # Besides the raw `go test -bench` output on stdout, a machine-readable
 # BENCH_<date>.json (one {name, ns_op, b_op, allocs_op, mb_s, pps,
-# hitrate, occupied, stale, dirtywords, imgwords} object per benchmark
-# row — the flow-cache rows report cached-vs-uncached pps and the
-# cache's hit rate, occupancy and stale-eviction counters; the
+# allocs_pkt, hitrate, occupied, stale, dirtywords, imgwords} object per
+# benchmark row — the flow-cache rows report cached-vs-uncached pps and
+# the cache's hit rate, occupancy and stale-eviction counters; the
 # PatchUpdate/PatchWords rows at 1k and 10k rules record the
 # sublinear-update claim: ns_op and dirtywords must track the edited
 # leaves, not imgwords; the ClassifyBatchACL10k/{aos,soa} and
 # LeafScan/{aos,soa}/leafsize=N pairs record the leaf-scan layout
 # ablation: the SoA comparator bank must be no slower than the AoS
-# early-exit scan end to end and faster on populated leaves) is written
-# so the perf trajectory is trackable across PRs without parsing text
-# tables.
+# early-exit scan end to end and faster on populated leaves; the
+# Ingest/{text,binary,binary+cache} rows record the line-rate ingest
+# claim: binary framing ≥5x the text shim's pps at 10k rules with
+# allocs_pkt ~0, and FrameDecode/FrameEncode/PcapDecode pin the raw
+# zero-copy codec rates) is written so the perf trajectory is trackable
+# across PRs without parsing text tables.
 #
 # Environment knobs:
 #   BENCH  regex of benchmarks to run (default: engine + build suite)
@@ -29,7 +32,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-Classify|Build|Compile|Patch|LeafScan}"
+BENCH="${BENCH:-Classify|Build|Compile|Patch|LeafScan|Ingest|Frame|Pcap|StoreRuleSlot}"
 COUNT="${COUNT:-10}"
 TIME="${TIME:-0.5s}"
 JSON="${JSON:-BENCH_$(date +%F).json}"
@@ -38,14 +41,16 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run='^$' -bench="$BENCH" -benchmem -count="$COUNT" \
-  -benchtime="$TIME" ./internal/engine/ ./internal/hwsim/ | tee "$RAW"
+  -benchtime="$TIME" \
+  ./internal/engine/ ./internal/hwsim/ ./internal/wire/ \
+  ./internal/stream/ ./internal/core/ | tee "$RAW"
 
 # Parse `BenchmarkName-P  N  X ns/op [Y MB/s] [Z B/op  W allocs/op] ...`
 # rows into a JSON array. Pure awk: no jq dependency in the container.
 awk '
   /^Benchmark/ {
     name = $1; ns = ""; bop = ""; allocs = ""; mbs = "";
-    pps = ""; hitrate = ""; occupied = ""; stale = "";
+    pps = ""; allocspkt = ""; hitrate = ""; occupied = ""; stale = "";
     dirtywords = ""; imgwords = "";
     for (i = 2; i <= NF; i++) {
       if ($i == "ns/op")      ns         = $(i-1);
@@ -53,6 +58,7 @@ awk '
       if ($i == "allocs/op")  allocs     = $(i-1);
       if ($i == "MB/s")       mbs        = $(i-1);
       if ($i == "pps")        pps        = $(i-1);
+      if ($i == "allocs_pkt") allocspkt  = $(i-1);
       if ($i == "hitrate")    hitrate    = $(i-1);
       if ($i == "occupied")   occupied   = $(i-1);
       if ($i == "stale")      stale      = $(i-1);
@@ -65,6 +71,7 @@ awk '
     if (allocs   != "") row = row sprintf(",\"allocs_op\":%s", allocs);
     if (mbs      != "") row = row sprintf(",\"mb_s\":%s", mbs);
     if (pps      != "") row = row sprintf(",\"pps\":%s", pps);
+    if (allocspkt != "") row = row sprintf(",\"allocs_pkt\":%s", allocspkt);
     if (hitrate  != "") row = row sprintf(",\"hitrate\":%s", hitrate);
     if (occupied != "") row = row sprintf(",\"occupied\":%s", occupied);
     if (stale    != "") row = row sprintf(",\"stale\":%s", stale);
