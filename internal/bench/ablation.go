@@ -37,6 +37,13 @@ type AblationResult struct {
 	// (paper's 30 parallel comparators, software twin) vs the AoS
 	// early-exit scan, packets/sec on the same engine and trace.
 	SoALeafPPS, AoSLeafPPS float64
+
+	// Scan-kernel dispatch: the same engine classified once per
+	// available scan kernel (the portable oracle plus the CPU's native
+	// SIMD kernel when present), packets/sec. Parallel slices; index 0
+	// is always "portable".
+	KernelNames []string
+	KernelPPS   []float64
 }
 
 // RunAblations measures all four ablations on an acl1 ruleset of size n.
@@ -142,6 +149,23 @@ func RunAblations(opts Options, n int) (AblationResult, error) {
 	out := make([]int32, len(trace))
 	res.AoSLeafPPS = MeasurePPS(trace, func(t []rule.Packet) { eng.ClassifyBatchAoS(t, out) })
 	res.SoALeafPPS = MeasurePPS(trace, func(t []rule.Packet) { eng.ClassifyBatch(t, out) })
+
+	// Scan-kernel dispatch: one timed row per kernel, each differentially
+	// checked against the AoS oracle before timing.
+	for _, k := range engine.Kernels() {
+		ke, err := eng.WithKernel(k)
+		if err != nil {
+			return res, fmt.Errorf("ablation n=%d: kernel %s: %w", n, k, err)
+		}
+		for i, p := range trace {
+			if got, want := ke.Classify(p), eng.ClassifyAoS(p); got != want {
+				return res, fmt.Errorf("ablation n=%d: kernel %s: packet %d: %d vs aos %d", n, k, i, got, want)
+			}
+		}
+		res.KernelNames = append(res.KernelNames, k)
+		res.KernelPPS = append(res.KernelPPS,
+			MeasurePPS(trace, func(t []rule.Packet) { ke.ClassifyBatch(t, out) }))
+	}
 	return res, nil
 }
 
@@ -186,5 +210,15 @@ func AblationTable(r AblationResult) *Table {
 		fmt.Sprintf("soa bank: %.2fM", r.SoALeafPPS/1e6),
 		fmt.Sprintf("aos scan: %.2fM", r.AoSLeafPPS/1e6),
 		fmt.Sprintf("%.2fx", r.SoALeafPPS/r.AoSLeafPPS))
+	for i, k := range r.KernelNames {
+		verdict := "baseline"
+		if i > 0 && r.KernelPPS[0] > 0 {
+			verdict = fmt.Sprintf("%.2fx vs portable", r.KernelPPS[i]/r.KernelPPS[0])
+		}
+		add("scan kernel (host engine pps)",
+			fmt.Sprintf("kernel=%s: %.2fM", k, r.KernelPPS[i]/1e6),
+			fmt.Sprintf("kernel=%s: %.2fM", r.KernelNames[0], r.KernelPPS[0]/1e6),
+			verdict)
+	}
 	return t
 }

@@ -97,7 +97,48 @@ func (t *Tree) Encode() (*Image, error) {
 	return img, nil
 }
 
+// encodeInternal writes an internal node's memory word: the 80-bit
+// mask/shift header as direct byte stores (the header's 16-bit pairs are
+// byte-aligned), and each 18-bit cut entry as one 32-bit little-endian
+// read-OR-write at its byte offset — an entry shifted into place spans
+// at most 25 bits, and the last entry's window (bytes 583..586) stays
+// inside the 600-byte word. w must be zero-filled, as both call sites
+// (Encode's fresh words, encodeWord's explicit clear) guarantee: the
+// entries are OR-merged, not read-modify-masked. encodeInternalBitwise
+// keeps the offset-by-offset path as the differential oracle
+// (TestEncodeInternalByteIdentity pins byte identity).
 func encodeInternal(w []byte, n *Node) error {
+	for _, c := range n.Cuts {
+		w[2*c.Dim] = c.Mask
+		w[2*c.Dim+1] = byte(c.Shift)
+	}
+	if len(n.Children) > MaxCuts {
+		return fmt.Errorf("core: node has %d children; word format caps at %d", len(n.Children), MaxCuts)
+	}
+	for i, c := range n.Children {
+		if c == nil {
+			return fmt.Errorf("core: nil child survived build; expected shared empty leaf")
+		}
+		if c.Word >= 1<<PointerBits {
+			return fmt.Errorf("core: child word %d exceeds pointer field", c.Word)
+		}
+		e := uint32(0)
+		if c.Leaf {
+			e = 1
+		}
+		e |= uint32(c.Word) << 1
+		e |= uint32(c.Pos&(1<<PosBits-1)) << (1 + PointerBits)
+		off := nodeHeaderBits + i*cutEntryBits
+		b := off >> 3
+		v := binary.LittleEndian.Uint32(w[b : b+4])
+		binary.LittleEndian.PutUint32(w[b:b+4], v|e<<uint(off&7))
+	}
+	return nil
+}
+
+// encodeInternalBitwise is the original field-by-field bit-packing path,
+// kept as the differential oracle for the word-level fast path above.
+func encodeInternalBitwise(w []byte, n *Node) error {
 	for _, c := range n.Cuts {
 		setBits(w, uint(16*c.Dim), 8, uint64(c.Mask))
 		setBits(w, uint(16*c.Dim+8), 8, uint64(uint8(c.Shift)))

@@ -101,10 +101,24 @@ func BenchmarkClassifyBatchACL10k(b *testing.B) {
 	eng := Compile(tree)
 	trace := classbench.GenerateTrace(rs, 4096, 2009)
 	out := make([]int32, len(trace))
-	for _, v := range []struct {
+	rows := []struct {
 		name string
 		fn   func([]rule.Packet, []int32)
-	}{{"aos", eng.ClassifyBatchAoS}, {"soa", eng.ClassifyBatch}} {
+	}{{"aos", eng.ClassifyBatchAoS}}
+	// One soa row per available scan kernel (kernel=portable plus the
+	// CPU's native kernel), so the SIMD end-to-end win is a tracked
+	// column in BENCH_<date>.json.
+	for _, k := range Kernels() {
+		ke, err := eng.WithKernel(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = append(rows, struct {
+			name string
+			fn   func([]rule.Packet, []int32)
+		}{fmt.Sprintf("soa/kernel=%s", k), ke.ClassifyBatch})
+	}
+	for _, v := range rows {
 		b.Run(v.name, func(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -192,13 +206,28 @@ func BenchmarkLeafScan(b *testing.B) {
 				eng.aosScanLeaf(c.l, &c.f)
 			}
 		})
-		b.Run(fmt.Sprintf("soa/leafsize=%d", hi), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				c := &cases[i%len(cases)]
-				eng.scanLeaf(c.l, &c.f)
+		// One soa row per scan kernel: the ≥1.5x acceptance bar of the
+		// SIMD backend is kernel=avx2 (or neon) over kernel=portable on
+		// the 64- and 128-slot buckets.
+		for _, k := range Kernels() {
+			ke, err := eng.WithKernel(k)
+			if err != nil {
+				b.Fatal(err)
 			}
-		})
+			for ci := range cases {
+				c := &cases[ci]
+				if got, want := ke.scanLeaf(c.l, &c.f), eng.aosScanLeaf(c.l, &c.f); got != want {
+					b.Fatalf("kernel=%s leafsize<=%d case %d: soa=%d aos=%d", k, hi, ci, got, want)
+				}
+			}
+			b.Run(fmt.Sprintf("soa/kernel=%s/leafsize=%d", k, hi), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					c := &cases[i%len(cases)]
+					ke.scanLeaf(c.l, &c.f)
+				}
+			})
+		}
 	}
 }
 

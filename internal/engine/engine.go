@@ -135,6 +135,12 @@ type Engine struct {
 	// arenas are shared between snapshots exactly like the pool.
 	soa soaBank
 
+	// kern is the leaf-scan kernel tag (kernPortable/kernNative), stamped
+	// at Compile from the process default and carried unchanged through
+	// Patch: a published snapshot never changes kernels mid-flight. See
+	// soa_dispatch.go; WithKernel derives a re-stamped view for A/B runs.
+	kern uint8
+
 	// sentinel is the leaf-table index of the compile-time empty-leaf
 	// sentinel inserted for nil child slots, or -1. core.Build never
 	// emits nil children, so for patched engines it is always -1; when
@@ -162,6 +168,7 @@ func Compile(t *core.Tree) *Engine {
 		nodes:    make([]node, len(internals)),
 		rules:    make([]flatRule, len(rs)),
 		sentinel: -1,
+		kern:     defaultKern,
 	}
 	for i := range rs {
 		for d := 0; d < rule.NumDims; d++ {
@@ -177,8 +184,8 @@ func Compile(t *core.Tree) *Engine {
 	}
 	e.ruleIDs = make([]int32, 0, total)
 	for d := 0; d < rule.NumDims; d++ {
-		e.soa.lo[d] = make([]uint32, 0, total)
-		e.soa.hi[d] = make([]uint32, 0, total)
+		e.soa.lo[d] = make([]uint32, 0, total+soaPadSlots)
+		e.soa.hi[d] = make([]uint32, 0, total+soaPadSlots)
 	}
 	flat := make([]leafRef, len(leafNodes), len(leafNodes)+1)
 	for i, l := range leafNodes {
@@ -223,6 +230,7 @@ func Compile(t *core.Tree) *Engine {
 	}
 	e.setLeaves(flat)
 	e.soa.computeOrder()
+	e.soa.pad()
 	return e
 }
 
@@ -259,19 +267,22 @@ func (e *Engine) Classify(p rule.Packet) int {
 
 // scanLeaf resolves a leaf window to its highest-priority match.
 //
-// The peel (peelLen: the whole window when short, the first soaPeel
-// slots otherwise) runs the AoS early-exit compare: Zipf-popular rules
+// The peel (peelLen: the whole window when short, the kernel's peel
+// depth otherwise) runs the AoS early-exit compare: Zipf-popular rules
 // are the high-priority ones, so roughly half of all scans end in the
 // window's first slot, where the bank's block setup can't be
-// amortized. The remainder runs the comparator bank as a prefilter —
-// per block, one or two branch-free sweeps of the most selective
-// dimensions produce a candidate mask, and only surviving slots are
-// verified against their full bounds, in mask-bit (priority) order.
-// Deep scans therefore cost ~one compare per slot with no
-// data-dependent branches, where the AoS loop pays a mispredict per
-// rule.
+// amortized. The remainder runs the engine's stamped scan kernel. On
+// the native kernels that is one fused asm call (soaBank.scanSIMD):
+// the returned slot matched every dimension in-register, so its rule
+// ID is the answer with no verify step. The portable kernel runs the
+// comparator bank as a prefilter — per block, one or two branch-free
+// sweeps of the most selective dimensions produce a candidate mask,
+// and only surviving slots are verified against their full bounds, in
+// mask-bit (priority) order. Deep scans therefore cost ~one compare
+// per slot with no data-dependent branches, where the AoS loop pays a
+// mispredict per rule.
 func (e *Engine) scanLeaf(l leafRef, f *[rule.NumDims]uint32) int {
-	peel := peelLen(l.n)
+	peel := peelLen(e.kern, l.n)
 	for _, id := range e.ruleIDs[l.off : l.off+peel] {
 		r := &e.rules[id]
 		if f[0] >= r.lo[0] && f[0] <= r.hi[0] &&
@@ -281,6 +292,15 @@ func (e *Engine) scanLeaf(l leafRef, f *[rule.NumDims]uint32) int {
 			f[4] >= r.lo[4] && f[4] <= r.hi[4] {
 			return int(id)
 		}
+	}
+	if peel == l.n {
+		return -1
+	}
+	if e.kern == kernNative {
+		if pos := e.soa.scanSIMD(l.off+peel, l.n-peel, f); pos >= 0 {
+			return int(e.ruleIDs[l.off+peel+pos])
+		}
+		return -1
 	}
 	end := l.off + l.n
 	width := int32(scanBlockLen)

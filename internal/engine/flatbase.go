@@ -63,6 +63,9 @@ type RangeEngine struct {
 	// checks stay on the AoS rule table: pushed lists are individual
 	// IDs, not contiguous windows.
 	soa soaBank
+	// kern is the leaf-scan kernel tag, stamped at compile from the
+	// process default exactly like Engine.kern (soa_dispatch.go).
+	kern uint8
 }
 
 // flatRules converts a ruleset to match form.
@@ -138,7 +141,7 @@ func flattenTree[N comparable](e *RangeEngine, root N,
 
 // CompileHiCuts flattens a built original-HiCuts tree.
 func CompileHiCuts(t *hicuts.Tree) *RangeEngine {
-	e := &RangeEngine{rules: flatRules(t.Rules())}
+	e := &RangeEngine{rules: flatRules(t.Rules()), kern: defaultKern}
 	order, ref := flattenTree(e, t.Root,
 		func(n *hicuts.Node) bool { return n.Leaf },
 		func(n *hicuts.Node) []*hicuts.Node { return n.Children },
@@ -159,13 +162,14 @@ func CompileHiCuts(t *hicuts.Tree) *RangeEngine {
 	}
 	e.root = ref(t.Root)
 	e.soa.computeOrder()
+	e.soa.pad()
 	return e
 }
 
 // CompileHyperCuts flattens a built original-HyperCuts tree, keeping its
 // region-compacted multi-dimensional cuts and pushed-rule lists.
 func CompileHyperCuts(t *hypercuts.Tree) *RangeEngine {
-	e := &RangeEngine{rules: flatRules(t.Rules())}
+	e := &RangeEngine{rules: flatRules(t.Rules()), kern: defaultKern}
 	order, ref := flattenTree(e, t.Root,
 		func(n *hypercuts.Node) bool { return n.Leaf },
 		func(n *hypercuts.Node) []*hypercuts.Node { return n.Children },
@@ -201,6 +205,7 @@ func CompileHyperCuts(t *hypercuts.Tree) *RangeEngine {
 	}
 	e.root = ref(t.Root)
 	e.soa.computeOrder()
+	e.soa.pad()
 	return e
 }
 
@@ -254,7 +259,7 @@ func (e *RangeEngine) Classify(p rule.Packet) int {
 	// window is priority-ordered, so its first matching slot is the
 	// leaf's best answer; it wins only if it beats the best pushed match
 	// (the AoS loop's early-break rule).
-	peel := peelLen(l.n)
+	peel := peelLen(e.kern, l.n)
 	for _, id := range e.ruleIDs[l.off : l.off+peel] {
 		if best >= 0 && id > best {
 			return int(best) // window is priority-ordered; cannot improve
@@ -262,6 +267,16 @@ func (e *RangeEngine) Classify(p rule.Packet) int {
 		if e.match(id, p) {
 			return int(id)
 		}
+	}
+	if peel < l.n && e.kern == kernNative {
+		f := [rule.NumDims]uint32{p.SrcIP, p.DstIP, uint32(p.SrcPort), uint32(p.DstPort), uint32(p.Proto)}
+		if pos := e.soa.scanSIMD(l.off+peel, l.n-peel, &f); pos >= 0 {
+			id := e.ruleIDs[l.off+peel+pos]
+			if best < 0 || id < best {
+				return int(id)
+			}
+		}
+		return int(best)
 	}
 	if peel < l.n {
 		f := [rule.NumDims]uint32{p.SrcIP, p.DstIP, uint32(p.SrcPort), uint32(p.DstPort), uint32(p.Proto)}

@@ -68,6 +68,7 @@ func (e *Engine) PatchBatch(ds []*core.Delta) (*Engine, error) {
 		ruleIDs:       e.ruleIDs,
 		rules:         e.rules,
 		soa:           e.soa,
+		kern:          e.kern,
 		sentinel:      e.sentinel,
 		deadRuleSlots: e.deadRuleSlots,
 		deadKidSlots:  e.deadKidSlots,
@@ -85,6 +86,9 @@ func (e *Engine) PatchBatch(ds []*core.Delta) (*Engine, error) {
 			return nil, err
 		}
 	}
+	// Restore the SIMD kernels' over-read slack past the batch's appends
+	// before the snapshot is published (see soaPadSlots).
+	ne.soa.pad()
 	return ne, nil
 }
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"math/bits"
+	"unsafe"
 
 	"repro/internal/rule"
 )
@@ -48,11 +49,24 @@ import (
 type soaBank struct {
 	lo [rule.NumDims][]uint32
 	hi [rule.NumDims][]uint32
-	// order is the dimension sweep order, most selective first, fixed at
-	// Compile time from the ruleset's wildcard densities (window bounds
-	// appended by patches keep the compile-time order: it is a scan
-	// heuristic, not a correctness input).
+	// order is the dimension sweep order, most selective first, computed
+	// from the ruleset's wildcard densities at Compile time — every
+	// recompile (including the GarbageRatio-triggered background one)
+	// re-measures it over the then-current arenas. Patches intentionally
+	// do NOT recompute it: windows they append keep the stale compile-time
+	// order, because order is a scan heuristic, not a correctness input —
+	// all kernels sweep every dimension of a surviving slot — and
+	// re-sorting it mid-chain would force concurrent snapshot readers to
+	// re-resolve sweep pointers. Heavy churn can therefore drift order
+	// away from the live selectivity ranking until the next recompile
+	// restores it (TestOrderRecomputedOnRecompile).
 	order [rule.NumDims]uint8
+	// pLo/pHi are the order-permuted arena base pointers (pLo[i] =
+	// &lo[order[i]][0]), resolved by pad() at every publish point so
+	// scanSIMD builds its argument block with five pointer adds instead
+	// of bounds-checked slice indexing. Snapshots copy the bank by
+	// value, so each snapshot's pointers pin its own backing arrays.
+	pLo, pHi [rule.NumDims]*uint32
 }
 
 // scanBlockLen is the comparator-bank width of the first block after the
@@ -65,19 +79,48 @@ const (
 	scanTailLen  = 64
 )
 
+// soaPadSlots is the over-read slack every published arena carries past
+// its length: the SIMD kernels (scanWindowASM) round block sweeps up to
+// full 8-lane rounds instead of peeling scalar tails, so the last round
+// of the last window may read up to 7 slots past the arena's high
+// watermark. pad() extends each arena's allocation by this many slots at
+// every publish point (Compile, PatchBatch, the flat-baseline compiles);
+// the garbage lanes are discarded by the kernels' block mask. The
+// portable kernels never read past len, so padding costs them nothing.
+const soaPadSlots = 8
+
 // soaPeel is the number of head slots scanLeaf checks with the AoS
 // early-exit compare before switching to the bank. Windows of at most
 // soaScanCutoff slots are peeled whole: below that length the bank's
 // block setup cannot beat the early-exit loop even on full misses (the
 // measured crossover on ACL1 workloads sits between 16 and 32 slots).
+//
+// The native SIMD kernels move the crossover down: one fused asm call
+// replaces all per-block slice setup, so the bank starts paying for
+// itself on much shorter windows (measured on ACL1@10k: the vector
+// kernel beats the early-exit loop from ~8 slots). They keep only a
+// one-slot peel: a first-slot match — still ~half of all scans — skips
+// the asm call entirely, while the branchy AoS compare is exactly what
+// profiles show dominating scanLeaf at deeper peels (a deeper head is
+// cheaper swept 8-wide inside the kernel's first block).
 const (
 	soaPeel       = 4
 	soaScanCutoff = 24
+
+	soaPeelNative       = 1
+	soaScanCutoffNative = 8
 )
 
 // peelLen returns how many head slots of an n-slot window the AoS peel
-// covers: all of a short window, soaPeel of a long one.
-func peelLen(n int32) int32 {
+// covers under the given scan kernel: all of a short window, the
+// kernel's peel depth of a long one.
+func peelLen(kern uint8, n int32) int32 {
+	if kern == kernNative {
+		if n <= soaScanCutoffNative {
+			return n
+		}
+		return soaPeelNative
+	}
 	if n <= soaScanCutoff {
 		return n
 	}
@@ -113,6 +156,35 @@ func (b *soaBank) appendWindow(rules []flatRule, ids []int32) {
 
 // slots returns the arena length (equals the ruleIDs pool length).
 func (b *soaBank) slots() int { return len(b.lo[0]) }
+
+// pad guarantees soaPadSlots of allocated slack past every arena's
+// length — the SIMD kernels' over-read contract (see soaPadSlots).
+// Called at every publish point, after all appends of a batch. When an
+// arena already carries the slack (the common case: append growth
+// doubles), pad is a no-op and the arena stays shared with prior
+// snapshots; otherwise the reallocation copies it, which is safe for
+// the same reason Patch's copy-on-write is — prior snapshots keep their
+// own backing array.
+func (b *soaBank) pad() {
+	for d := 0; d < rule.NumDims; d++ {
+		b.lo[d] = padArena(b.lo[d])
+		b.hi[d] = padArena(b.hi[d])
+	}
+	for i := 0; i < rule.NumDims; i++ {
+		d := b.order[i]
+		b.pLo[i] = unsafe.SliceData(b.lo[d])
+		b.pHi[i] = unsafe.SliceData(b.hi[d])
+	}
+}
+
+func padArena(a []uint32) []uint32 {
+	if cap(a)-len(a) >= soaPadSlots {
+		return a
+	}
+	na := make([]uint32, len(a), len(a)+soaPadSlots)
+	copy(na, a)
+	return na
+}
 
 // computeOrder fixes the sweep order by measured selectivity: dimensions
 // whose slots are least often full-range wildcards go first, so the

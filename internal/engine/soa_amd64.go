@@ -1,0 +1,46 @@
+//go:build amd64 && !purego
+
+package engine
+
+// nativeKernelName names this architecture's SIMD scan kernel.
+const nativeKernelName = "avx2"
+
+// detectNative probes CPUID for the avx2 kernel's requirements: AVX2
+// itself, plus OSXSAVE and XMM/YMM state enabled in XCR0 (the OS must
+// save the wide registers across context switches, or executing VEX
+// code faults).
+func detectNative() bool {
+	maxLeaf, _, _, _ := cpuidASM(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidASM(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	xlo, _ := xgetbv0()
+	if xlo&0x6 != 0x6 { // XMM and YMM state
+		return false
+	}
+	_, b7, _, _ := cpuidASM(7, 0)
+	const avx2 = 1 << 5
+	return b7&avx2 != 0
+}
+
+// scanWindowASM is the fused AVX2 window scan (soa_amd64.s): per block,
+// 8 range comparators per round (VPSUBD/VPMINUD/VPCMPEQD, the same
+// unsigned-wraparound check rangeBit makes), VMOVMSKPS-packed into a
+// uint64 mask held in a register across the selectivity-ordered
+// dimension sweeps, early-outing when it collapses. Returns the first
+// matching slot offset or -1; see scanArgs for the contract.
+//
+//go:noescape
+func scanWindowASM(a *scanArgs) int32
+
+// cpuidASM executes CPUID with the given leaf/subleaf.
+func cpuidASM(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0 (requires OSXSAVE).
+func xgetbv0() (eax, edx uint32)

@@ -1,0 +1,140 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// Fused AVX2 window scan over the SoA comparator-bank arenas: the
+// software rendering of the paper's bank of parallel range comparators,
+// 8 comparators per instruction round. See scanArgs (soa_dispatch.go)
+// for the argument block layout the offsets below hard-code (pinned by
+// compile-time asserts) and scanSIMD for the calling contract.
+//
+// Structure (the register twin of soaBank.scan):
+//
+//   for each block (scanBlockLen first, scanTailLen after):
+//     m = sweep(dim 0) & blockmask        // dims pre-ordered by selectivity
+//     for dim 1..4: m &= sweep(dim); if m == 0 break
+//     if m != 0: return base + tzcnt(m)   // first bit = highest priority
+//
+// A sweep runs ceil(bl/8) rounds of 8 slots. Each round is the
+// unsigned-wraparound range check rangeBit makes, vectorized: lanes
+// match iff v-lo <= hi-lo (unsigned), i.e. min_u(v-lo, hi-lo) == v-lo,
+// and VMOVMSKPS packs the 8 lane verdicts into GP bits. Rounds may read
+// up to 7 slots past the window (and, on the last window of the arena,
+// past the arena length): soaBank.pad() guarantees soaPadSlots of
+// allocated slack, and the block mask discards the stray lanes.
+//
+// Register plan:
+//   R15 args    R14 n      R13 base    R12 width   R11 blockmask
+//   R10 m       R9  sweep mask         R8 movemask scratch
+//   SI  lo ptr  DI  hi ptr  AX lane byte offset / result
+//   BX  bl      CX  bit position       DX dim index
+//   Y0  broadcast field    Y1-Y6 lanes
+
+// SWEEP(label): mask of the current dimension over the current block.
+// In: SI/DI dimension arena pointers (at block base), Y0 broadcast
+// field, BX block length. Out: R9. Clobbers AX, CX, R8, Y1-Y6.
+#define SWEEP(label)                  \
+	XORQ  R9, R9                  \
+	XORQ  AX, AX                  \
+	XORQ  CX, CX                  \
+label:                                \
+	VMOVDQU   (SI)(AX*1), Y1      \ // lo[j..j+7]
+	VMOVDQU   (DI)(AX*1), Y2      \ // hi[j..j+7]
+	VPSUBD    Y1, Y0, Y3          \ // v - lo
+	VPSUBD    Y1, Y2, Y4          \ // hi - lo
+	VPMINUD   Y3, Y4, Y5          \
+	VPCMPEQD  Y5, Y3, Y6          \ // all-ones where v-lo <= hi-lo
+	VMOVMSKPS Y6, R8              \
+	SHLQ      CX, R8              \
+	ORQ       R8, R9              \
+	ADDQ      $32, AX             \
+	ADDQ      $8, CX              \
+	CMPQ      CX, BX              \
+	JL        label
+
+// func scanWindowASM(a *scanArgs) int32
+TEXT ·scanWindowASM(SB), NOSPLIT, $0-12
+	MOVQ    a+0(FP), R15
+	MOVLQSX 100(R15), R14        // n
+	XORQ    R13, R13             // base = 0
+	MOVQ    $16, R12             // width = scanBlockLen
+
+block:
+	MOVQ R14, BX
+	SUBQ R13, BX                 // rem = n - base
+	JLE  miss
+	CMPQ BX, R12
+	JLE  lenok
+	MOVQ R12, BX                 // bl = min(rem, width)
+lenok:
+	MOVQ $-1, R11                // blockmask = (1<<bl)-1; bl==64 keeps ~0
+	CMPQ BX, $64
+	JE   dim0
+	MOVQ BX, CX
+	MOVQ $1, R11
+	SHLQ CX, R11
+	DECQ R11
+
+dim0:
+	// Most selective dimension: its mask (cut to the block) seeds m.
+	MOVQ         (R15), SI       // lo[0]
+	MOVQ         40(R15), DI     // hi[0]
+	LEAQ         (SI)(R13*4), SI
+	LEAQ         (DI)(R13*4), DI
+	VPBROADCASTD 80(R15), Y0     // f[0]
+	SWEEP(sweep0)
+	ANDQ  R11, R9
+	MOVQ  R9, R10
+	TESTQ R10, R10
+	JZ    nextblock
+
+	MOVQ $1, DX
+dimloop:
+	MOVQ         (R15)(DX*8), SI
+	MOVQ         40(R15)(DX*8), DI
+	LEAQ         (SI)(R13*4), SI
+	LEAQ         (DI)(R13*4), DI
+	VPBROADCASTD 80(R15)(DX*4), Y0
+	SWEEP(sweepn)
+	ANDQ R9, R10
+	JZ   nextblock               // mask collapsed: no match in this block
+	INCQ DX
+	CMPQ DX, $5                  // rule.NumDims
+	JL   dimloop
+
+	// Survivors match all five dimensions: lowest bit = first slot in
+	// priority order.
+	BSFQ R10, AX
+	ADDQ R13, AX
+	VZEROUPPER
+	MOVL AX, ret+8(FP)
+	RET
+
+nextblock:
+	ADDQ BX, R13                 // base += bl
+	MOVQ $64, R12                // width = scanTailLen
+	JMP  block
+
+miss:
+	VZEROUPPER
+	MOVL $-1, ret+8(FP)
+	RET
+
+// func cpuidASM(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidASM(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

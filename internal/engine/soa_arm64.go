@@ -1,0 +1,22 @@
+//go:build arm64 && !purego
+
+package engine
+
+// nativeKernelName names this architecture's SIMD scan kernel.
+const nativeKernelName = "neon"
+
+// detectNative reports whether the neon kernel can run. Advanced SIMD
+// is architecturally mandatory on AArch64, so there is nothing to
+// probe: every arm64 CPU Go targets has it.
+func detectNative() bool { return true }
+
+// scanWindowASM is the fused NEON window scan (soa_arm64.s): per block,
+// 8 range comparators per round on two 4-lane vectors (VSUB/VUMIN/VCMEQ
+// — the same unsigned-wraparound check rangeBit makes), packed into a
+// uint64 mask via per-lane bit constants + VADDV and held in a register
+// across the selectivity-ordered dimension sweeps, early-outing when it
+// collapses. Returns the first matching slot offset or -1; see scanArgs
+// for the contract.
+//
+//go:noescape
+func scanWindowASM(a *scanArgs) int32

@@ -1,0 +1,135 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// Fused NEON window scan over the SoA comparator-bank arenas: the arm64
+// twin of soa_amd64.s, 8 range comparators per round on two 4-lane
+// vectors. See scanArgs (soa_dispatch.go) for the argument block layout
+// the offsets below hard-code, and the amd64 file for the algorithm
+// commentary (blocks, selectivity-ordered sweeps, early-out, over-read
+// padding contract) — the structure here is identical.
+//
+// The unsigned range check is VUMIN+VCMEQ (lane matches iff
+// min_u(v-lo, hi-lo) == v-lo); the Go 1.24 assembler has no VCMHS.
+// Movemask has no single instruction either: each compare result is
+// ANDed with per-lane bit constants ({1,2,4,8} low vector,
+// {16,32,64,128} high vector), ORed together, and VADDV-summed — lanes
+// carry disjoint bits, so the sum IS the 8-bit mask.
+//
+// Register plan:
+//   R0  args    R1 n       R2 base     R3 width    R4 blockmask
+//   R5  m       R6 sweep mask          R7 scratch/movemask/result
+//   R8  lo ptr  R9 hi ptr  R10 bit position        R11 bl
+//   R12 dim index           R13/R14 sweep cursors & address scratch
+//   V0  broadcast field     V1-V10 lanes
+//   V29 {1,2,4,8}           V30 {16,32,64,128}
+
+DATA scanBits<>+0(SB)/4, $1
+DATA scanBits<>+4(SB)/4, $2
+DATA scanBits<>+8(SB)/4, $4
+DATA scanBits<>+12(SB)/4, $8
+DATA scanBits<>+16(SB)/4, $16
+DATA scanBits<>+20(SB)/4, $32
+DATA scanBits<>+24(SB)/4, $64
+DATA scanBits<>+28(SB)/4, $128
+GLOBL scanBits<>(SB), RODATA|NOPTR, $32
+
+// SWEEP(label): mask of the current dimension over the current block.
+// In: R8/R9 dimension arena pointers (at block base), V0 broadcast
+// field, R11 block length. Out: R6. Clobbers R7, R10, R13, R14, V1-V10.
+#define SWEEP(label)                          \
+	MOVD   $0, R6                         \
+	MOVD   $0, R10                        \
+	MOVD   R8, R13                        \
+	MOVD   R9, R14                        \
+label:                                        \
+	VLD1.P 32(R13), [V1.S4, V2.S4]        \ // lo[j..j+7]
+	VLD1.P 32(R14), [V3.S4, V4.S4]        \ // hi[j..j+7]
+	VSUB   V1.S4, V0.S4, V5.S4            \ // v - lo
+	VSUB   V2.S4, V0.S4, V6.S4            \
+	VSUB   V1.S4, V3.S4, V7.S4            \ // hi - lo
+	VSUB   V2.S4, V4.S4, V8.S4            \
+	VUMIN  V5.S4, V7.S4, V9.S4            \
+	VUMIN  V6.S4, V8.S4, V10.S4           \
+	VCMEQ  V5.S4, V9.S4, V9.S4            \ // all-ones where v-lo <= hi-lo
+	VCMEQ  V6.S4, V10.S4, V10.S4          \
+	VAND   V29.B16, V9.B16, V9.B16        \
+	VAND   V30.B16, V10.B16, V10.B16      \
+	VORR   V10.B16, V9.B16, V9.B16        \
+	VADDV  V9.S4, V9                      \ // disjoint bits: sum == or
+	VMOV   V9.S[0], R7                    \
+	LSL    R10, R7, R7                    \
+	ORR    R7, R6, R6                     \
+	ADD    $8, R10, R10                   \
+	CMP    R11, R10                       \
+	BLT    label
+
+// func scanWindowASM(a *scanArgs) int32
+TEXT ·scanWindowASM(SB), NOSPLIT, $0-12
+	MOVD a+0(FP), R0
+	MOVW 100(R0), R1             // n
+	MOVD $0, R2                  // base = 0
+	MOVD $16, R3                 // width = scanBlockLen
+	MOVD $scanBits<>(SB), R13
+	VLD1 (R13), [V29.S4, V30.S4]
+
+block:
+	SUBS R2, R1, R11             // rem = n - base
+	BLE  miss
+	CMP  R3, R11
+	BLE  lenok
+	MOVD R3, R11                 // bl = min(rem, width)
+lenok:
+	MOVD $-1, R4                 // blockmask = (1<<bl)-1; bl==64 keeps ~0
+	CMP  $64, R11                // (register LSL wraps at 64)
+	BEQ  dim0
+	MOVD $1, R4
+	LSL  R11, R4, R4
+	SUB  $1, R4, R4
+
+dim0:
+	// Most selective dimension: its mask (cut to the block) seeds m.
+	MOVD  (R0), R8               // lo[0]
+	MOVD  40(R0), R9             // hi[0]
+	ADD   R2<<2, R8, R8
+	ADD   R2<<2, R9, R9
+	MOVWU 80(R0), R7             // f[0]
+	VDUP  R7, V0.S4
+	SWEEP(sweep0)
+	ANDS R4, R6, R5
+	BEQ  nextblock
+
+	MOVD $1, R12
+dimloop:
+	ADD   R12<<3, R0, R13
+	MOVD  (R13), R8              // lo[dim]
+	MOVD  40(R13), R9            // hi[dim]
+	ADD   R2<<2, R8, R8
+	ADD   R2<<2, R9, R9
+	ADD   R12<<2, R0, R13
+	MOVWU 80(R13), R7            // f[dim]
+	VDUP  R7, V0.S4
+	SWEEP(sweepn)
+	ANDS R6, R5, R5
+	BEQ  nextblock               // mask collapsed: no match in this block
+	ADD  $1, R12, R12
+	CMP  $5, R12                 // rule.NumDims
+	BLT  dimloop
+
+	// Survivors match all five dimensions: lowest bit = first slot in
+	// priority order.
+	RBIT R5, R7
+	CLZ  R7, R7
+	ADD  R2, R7, R7
+	MOVW R7, ret+8(FP)
+	RET
+
+nextblock:
+	ADD  R11, R2, R2             // base += bl
+	MOVD $64, R3                 // width = scanTailLen
+	B    block
+
+miss:
+	MOVD $-1, R7
+	MOVW R7, ret+8(FP)
+	RET

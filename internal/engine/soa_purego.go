@@ -1,0 +1,18 @@
+//go:build purego || (!amd64 && !arm64)
+
+package engine
+
+// nativeKernelName is empty: this build carries only the portable
+// kernel (either the purego tag forced it, or the architecture has no
+// hand-written backend). kernFromName refuses "native" when this is
+// empty, so kernNative is unreachable here.
+const nativeKernelName = ""
+
+// detectNative reports no native kernel for this build.
+func detectNative() bool { return false }
+
+// scanWindowASM is unreachable in portable-only builds; the stub keeps
+// the dispatch layer architecture-independent.
+func scanWindowASM(a *scanArgs) int32 {
+	panic("engine: native scan kernel not available in this build")
+}

@@ -43,6 +43,28 @@ func checkScanIdentity(t *testing.T, e *Engine, trace []rule.Packet) {
 		if got := e.Classify(p); got != want {
 			t.Fatalf("packet %d: Classify=%d ClassifyAoS=%d", i, got, want)
 		}
+		// The native SIMD kernel (when this CPU has one) must agree with
+		// the whole portable family on the same window.
+		if nativeKernelOK && l.n > 0 {
+			simd := -1
+			if pos := e.soa.scanSIMD(l.off, l.n, &f); pos >= 0 {
+				simd = int(e.ruleIDs[l.off+pos])
+			}
+			if simd != want {
+				t.Fatalf("packet %d: scanSIMD=%d aosScanLeaf=%d (window off=%d n=%d)", i, simd, want, l.off, l.n)
+			}
+		}
+	}
+	if nativeKernelOK {
+		ne, err := e.WithKernel("native")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range trace {
+			if got, want := ne.Classify(p), e.ClassifyAoS(p); got != want {
+				t.Fatalf("packet %d: native Classify=%d ClassifyAoS=%d", i, got, want)
+			}
+		}
 	}
 }
 

@@ -130,7 +130,20 @@ type Config struct {
 	// by epoch, and stale entries fall through to the tree and
 	// repopulate. 0 disables caching.
 	CacheSize int
+	// ScanKernel selects the engine's leaf-scan comparator-bank kernel:
+	// "" (keep the process default — the best the CPU supports),
+	// "portable" (the pure-Go oracle), "native", or an architecture
+	// kernel name ("avx2", "neon"). The choice is process-wide and
+	// applies to engines compiled afterwards; an unsatisfiable request
+	// (unknown name, unsupported CPU) fails BuildAccelerator. The
+	// REPRO_SCAN_KERNEL environment variable sets the same default at
+	// process start. See DESIGN.md §10.
+	ScanKernel string
 }
+
+// ScanKernels lists the leaf-scan kernels available on this CPU and
+// build (candidates for Config.ScanKernel), portable first.
+func ScanKernels() []string { return engine.Kernels() }
 
 // DefaultRecompileThreshold is the default update-degradation level that
 // triggers a background recompile: once a quarter of the leaf table is
@@ -199,6 +212,11 @@ func BuildAccelerator(rs RuleSet, cfg Config) (*Accelerator, error) {
 	ccfg.Speed = 1
 	if cfg.CompactLeaves {
 		ccfg.Speed = 0
+	}
+	if cfg.ScanKernel != "" {
+		if err := engine.SetDefaultKernel(cfg.ScanKernel); err != nil {
+			return nil, err
+		}
 	}
 	tree, err := core.Build(rs, ccfg)
 	if err != nil {

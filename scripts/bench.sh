@@ -16,7 +16,11 @@
 # leaves, not imgwords; the ClassifyBatchACL10k/{aos,soa} and
 # LeafScan/{aos,soa}/leafsize=N pairs record the leaf-scan layout
 # ablation: the SoA comparator bank must be no slower than the AoS
-# early-exit scan end to end and faster on populated leaves; the
+# early-exit scan end to end and faster on populated leaves; rows whose
+# sub-benchmark name carries kernel=<portable|avx2|neon> additionally
+# land a "kernel" field, recording the per-kernel leaf-scan and
+# ClassifyBatch rates so the SIMD-vs-portable speedup is tracked in the
+# trajectory; the
 # Ingest/{text,binary,binary+cache} rows record the line-rate ingest
 # claim: binary framing ≥5x the text shim's pps at 10k rules with
 # allocs_pkt ~0, and FrameDecode/FrameEncode/PcapDecode pin the raw
@@ -51,7 +55,8 @@ awk '
   /^Benchmark/ {
     name = $1; ns = ""; bop = ""; allocs = ""; mbs = "";
     pps = ""; allocspkt = ""; hitrate = ""; occupied = ""; stale = "";
-    dirtywords = ""; imgwords = "";
+    dirtywords = ""; imgwords = ""; kern = "";
+    if (match(name, /kernel=[a-zA-Z0-9]+/)) kern = substr(name, RSTART+7, RLENGTH-7);
     for (i = 2; i <= NF; i++) {
       if ($i == "ns/op")      ns         = $(i-1);
       if ($i == "B/op")       bop        = $(i-1);
@@ -77,6 +82,7 @@ awk '
     if (stale    != "") row = row sprintf(",\"stale\":%s", stale);
     if (dirtywords != "") row = row sprintf(",\"dirtywords\":%s", dirtywords);
     if (imgwords   != "") row = row sprintf(",\"imgwords\":%s", imgwords);
+    if (kern       != "") row = row sprintf(",\"kernel\":\"%s\"", kern);
     row = row "}";
     rows[nrows++] = row;
   }
