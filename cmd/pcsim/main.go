@@ -11,6 +11,15 @@
 // either one "srcIP dstIP srcPort dstPort proto" decimal tuple per line,
 // the framed binary wire format, or a pcap capture — the format is
 // auto-detected from the first bytes.
+//
+// With -telemetry the host-engine measurement runs instrumented and the
+// telemetry plane is exposed over HTTP — Prometheus text metrics on
+// /metrics, the flight-recorder event ring on /debug/events, and pprof
+// on /debug/pprof/ — for as long as -hold keeps the process alive:
+//
+//	pcsim -profile acl1 -n 2191 -telemetry 127.0.0.1:9090 -hold 60s &
+//	curl -s http://127.0.0.1:9090/metrics | grep repro_packets_total
+//	go tool pprof http://127.0.0.1:9090/debug/pprof/profile?seconds=5
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/classbench"
@@ -28,6 +38,7 @@ import (
 	"repro/internal/hwsim"
 	"repro/internal/rule"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -44,16 +55,18 @@ func main() {
 		speed     = flag.Int("speed", 1, "speed parameter (0 or 1)")
 		spfac     = flag.Int("spfac", 4, "space factor")
 		binth     = flag.Int("binth", 120, "leaf threshold")
+		telemAddr = flag.String("telemetry", "", "serve /metrics, /debug/events and /debug/pprof on this host:port (\":0\" picks a port)")
+		hold      = flag.Duration("hold", 0, "keep serving telemetry this long after the run (requires -telemetry)")
 	)
 	flag.Parse()
 
-	if err := run(*rulesFile, *traceFile, *profile, *n, *traceN, *seed, *algo, *device, *speed, *spfac, *binth); err != nil {
+	if err := run(*rulesFile, *traceFile, *profile, *n, *traceN, *seed, *algo, *device, *speed, *spfac, *binth, *telemAddr, *hold); err != nil {
 		fmt.Fprintln(os.Stderr, "pcsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rulesFile, traceFile, profile string, n, traceN int, seed int64, algo, device string, speed, spfac, binth int) error {
+func run(rulesFile, traceFile, profile string, n, traceN int, seed int64, algo, device string, speed, spfac, binth int, telemAddr string, hold time.Duration) error {
 	// Inputs.
 	var rs rule.RuleSet
 	if rulesFile != "" {
@@ -130,13 +143,37 @@ func run(rulesFile, traceFile, profile string, n, traceN int, seed int64, algo, 
 		dev.Name, hwsim.WorstCaseThroughputPPS(dev, tree.WorstCaseCycles()),
 		energy.HighestLine(hwsim.WorstCaseThroughputPPS(dev, tree.WorstCaseCycles())))
 
-	// Software fast path: the same tree flattened into the host engine.
+	// Software fast path: the same tree flattened into the host engine,
+	// behind an epoch handle so the telemetry plane (when enabled) sees
+	// the same instrumented path production serving uses.
 	eng := engine.Compile(tree)
+	h := engine.NewHandle(eng)
+	var srv *telemetry.Server
+	if telemAddr != "" {
+		rec := telemetry.New()
+		h.SetTelemetry(rec)
+		rec.BuildNs.Observe(tree.BuildNanos())
+		rec.Events.Record(telemetry.EvBuild, 0,
+			tree.BuildNanos(), int64(len(rs)), int64(tree.Words()))
+		var err error
+		if srv, err = telemetry.Serve(telemAddr, rec); err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics /debug/events /debug/pprof/\n", srv.Addr())
+	}
+	holdOpen := func() {
+		if srv != nil && hold > 0 {
+			fmt.Printf("telemetry: holding for %s\n", hold)
+			time.Sleep(hold)
+		}
+	}
 
 	if !tree.FitsDevice() {
 		fmt.Printf("NOTE: structure exceeds the 1024-word device; simulation skipped.\n")
 		fmt.Printf("      (the paper suggests doubling memory words or reducing spfac)\n")
-		reportEngine(eng, trace)
+		reportEngine(h, eng, trace)
+		holdOpen()
 		return nil
 	}
 	img, err := tree.Encode()
@@ -159,20 +196,22 @@ func run(rulesFile, traceFile, profile string, n, traceN int, seed int64, algo, 
 		st.PacketsPerSecond, dev.FreqHz/1e6, energy.HighestLine(st.PacketsPerSecond))
 	fmt.Printf("energy: %.3e J/packet (normalized %.2f mW average power)\n",
 		st.EnergyPerPacketJ, dev.PowerW*1000)
-	reportEngine(eng, trace)
+	reportEngine(h, eng, trace)
+	holdOpen()
 	return nil
 }
 
 // reportEngine measures the flat engine's wall-clock throughput on the
-// host: single-core batched and sharded across all cores.
-func reportEngine(eng *engine.Engine, trace []rule.Packet) {
+// host: single-core batched and sharded across all cores. Classification
+// goes through the handle so an attached telemetry recorder observes it.
+func reportEngine(h *engine.Handle, eng *engine.Engine, trace []rule.Packet) {
 	if len(trace) == 0 {
 		return
 	}
 	out := make([]int32, len(trace))
-	single := bench.MeasurePPS(trace, func(t []rule.Packet) { eng.ClassifyBatch(t, out) })
+	single := bench.MeasurePPS(trace, func(t []rule.Packet) { h.ClassifyBatchCached(t, out) })
 	workers := runtime.GOMAXPROCS(0)
-	parallel := bench.MeasurePPS(trace, func(t []rule.Packet) { eng.ParallelClassify(t, out, workers) })
+	parallel := bench.MeasurePPS(trace, func(t []rule.Packet) { h.ParallelClassifyCached(t, out, workers) })
 	fmt.Printf("host engine (%d nodes, %d bytes flat): %.0f pps single-core (%s), %.0f pps on %d cores (%s)\n",
 		eng.NumNodes(), eng.MemoryBytes(),
 		single, energy.HighestLine(single), parallel, workers, energy.HighestLine(parallel))

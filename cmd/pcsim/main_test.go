@@ -12,9 +12,14 @@ import (
 )
 
 func TestRunSyntheticEndToEnd(t *testing.T) {
-	// Synthetic inputs through the whole pipeline on both devices.
-	for _, device := range []string{"asic", "fpga"} {
-		if err := run("", "", "acl1", 300, 2000, 7, "hypercuts", device, 1, 4, 120); err != nil {
+	// Synthetic inputs through the whole pipeline on both devices; the
+	// asic run also exercises the -telemetry serving path end to end.
+	for i, device := range []string{"asic", "fpga"} {
+		telem := ""
+		if i == 0 {
+			telem = "127.0.0.1:0"
+		}
+		if err := run("", "", "acl1", 300, 2000, 7, "hypercuts", device, 1, 4, 120, telem, 0); err != nil {
 			t.Fatalf("%s: %v", device, err)
 		}
 	}
@@ -45,19 +50,19 @@ func TestRunFromFiles(t *testing.T) {
 	}
 	tf.Close()
 
-	if err := run(rulesPath, tracePath, "", 0, 0, 0, "hicuts", "asic", 0, 4, 120); err != nil {
+	if err := run(rulesPath, tracePath, "", 0, 0, 0, "hicuts", "asic", 0, 4, 120, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", "acl1", 50, 100, 1, "bogus", "asic", 1, 4, 120); err == nil {
+	if err := run("", "", "acl1", 50, 100, 1, "bogus", "asic", 1, 4, 120, "", 0); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run("", "", "acl1", 50, 100, 1, "hicuts", "bogus", 1, 4, 120); err == nil {
+	if err := run("", "", "acl1", 50, 100, 1, "hicuts", "bogus", 1, 4, 120, "", 0); err == nil {
 		t.Error("unknown device accepted")
 	}
-	if err := run("/does/not/exist", "", "", 0, 0, 0, "hicuts", "asic", 1, 4, 120); err == nil {
+	if err := run("/does/not/exist", "", "", 0, 0, 0, "hicuts", "asic", 1, 4, 120, "", 0); err == nil {
 		t.Error("missing rules file accepted")
 	}
 }
@@ -92,7 +97,7 @@ func TestRunAutoDetectsBinaryAndPcapTraces(t *testing.T) {
 		"binary": write("trace.bin", wire.WriteTrace),
 		"pcap":   write("trace.pcap", wire.WritePcap),
 	} {
-		if err := run(rulesPath, path, "", 0, 0, 0, "hypercuts", "asic", 1, 4, 120); err != nil {
+		if err := run(rulesPath, path, "", 0, 0, 0, "hypercuts", "asic", 1, 4, 120, "", 0); err != nil {
 			t.Fatalf("%s trace: %v", name, err)
 		}
 	}

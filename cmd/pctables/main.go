@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/classbench"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -33,10 +34,21 @@ func main() {
 		churn       = flag.Bool("churn", false, "also print classification throughput under sustained rule updates (not a paper table)")
 		cacheTbl    = flag.Bool("cache", false, "also print flow-cache hit-rate/throughput on locality-skewed traces (not a paper table)")
 		ingestTbl   = flag.Bool("ingest", false, "also print end-to-end ingest throughput, text vs binary framing (not a paper table)")
+		telemAddr   = flag.String("telemetry", "", "serve live /metrics, /debug/events and /debug/pprof on this host:port while tables run")
 	)
 	flag.Parse()
 
 	opts := bench.Options{Seed: *seed, TracePackets: *trace}
+	if *telemAddr != "" {
+		opts.Telemetry = telemetry.New()
+		srv, err := telemetry.Serve(*telemAddr, opts.Telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pctables:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", srv.Addr())
+	}
 	ablN := 1500
 	if *quick {
 		opts.Sizes = []int{60, 150, 500, 1000}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/flowcache"
 	"repro/internal/rule"
+	"repro/internal/telemetry"
 )
 
 // Flow-cache measurement: cached vs uncached host throughput on
@@ -65,7 +66,7 @@ func RunFlowCache(opts Options) ([]CacheRow, error) {
 		}
 		pool := classbench.Generate(classbench.FW1(), inserts, opts.Seed+2)
 		for _, algo := range []core.Algorithm{core.HiCuts, core.HyperCuts} {
-			row, err := runFlowCache(rs, pool, trace, algo, flows)
+			row, err := runFlowCache(rs, pool, trace, algo, flows, opts.Telemetry)
 			if err != nil {
 				return nil, fmt.Errorf("flow cache %v n=%d: %w", algo, n, err)
 			}
@@ -75,13 +76,14 @@ func RunFlowCache(opts Options) ([]CacheRow, error) {
 	return rows, nil
 }
 
-func runFlowCache(rs, pool rule.RuleSet, trace []rule.Packet, algo core.Algorithm, flows int) (CacheRow, error) {
+func runFlowCache(rs, pool rule.RuleSet, trace []rule.Packet, algo core.Algorithm, flows int, tel *telemetry.Recorder) (CacheRow, error) {
 	row := CacheRow{N: len(rs), Algo: algo.String(), Flows: flows, Burst: 16}
 	tree, err := core.Build(rs, core.DefaultConfig(algo))
 	if err != nil {
 		return row, err
 	}
 	h := engine.NewHandle(engine.Compile(tree))
+	h.SetTelemetry(tel)
 	cache := h.EnableCache(4 * flows)
 	out := make([]int32, len(trace))
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/hwsim"
 	"repro/internal/rule"
+	"repro/internal/telemetry"
 )
 
 // Update-churn measurement: the paper's §4 live-update story quantified.
@@ -77,7 +78,7 @@ func RunUpdateChurn(opts Options) ([]ChurnRow, error) {
 		}
 		pool := classbench.Generate(classbench.FW1(), inserts, opts.Seed+2)
 		for _, algo := range []core.Algorithm{core.HiCuts, core.HyperCuts} {
-			row, err := runChurn(rs, pool, trace, algo)
+			row, err := runChurn(rs, pool, trace, algo, opts.Telemetry)
 			if err != nil {
 				return nil, fmt.Errorf("churn %v n=%d: %w", algo, n, err)
 			}
@@ -92,13 +93,14 @@ func RunUpdateChurn(opts Options) ([]ChurnRow, error) {
 // so large tables still fit while updates grow them.
 var churnDevice = hwsim.Device{Name: "ASIC-65nm-4096w", FreqHz: 226e6, PowerW: 0.01832, MemoryWords: 1 << core.PointerBits}
 
-func runChurn(rs rule.RuleSet, pool rule.RuleSet, trace []rule.Packet, algo core.Algorithm) (ChurnRow, error) {
+func runChurn(rs rule.RuleSet, pool rule.RuleSet, trace []rule.Packet, algo core.Algorithm, tel *telemetry.Recorder) (ChurnRow, error) {
 	row := ChurnRow{N: len(rs), Algo: algo.String()}
 	tree, err := core.Build(rs, core.DefaultConfig(algo))
 	if err != nil {
 		return row, err
 	}
 	h := engine.NewHandle(engine.Compile(tree))
+	h.SetTelemetry(tel)
 	out := make([]int32, len(trace))
 
 	// The simulated device rides along: every delta is also replayed

@@ -39,6 +39,10 @@ type IngestRow struct {
 	AllocsPerPkt float64
 	// SpeedupX is PPS over the text row's PPS at the same size.
 	SpeedupX float64
+	// BatchP50Ns/BatchP99Ns are the per-batch classify+encode latency
+	// quantiles of the last measured pass (stream.Stats.BatchP50Ns,
+	// log2-bucket estimates).
+	BatchP50Ns, BatchP99Ns int64
 }
 
 // RunIngest measures end-to-end ingest throughput per format for every
@@ -82,6 +86,8 @@ func runIngest(n int, opts Options) ([]IngestRow, error) {
 	// cache so the "binary" row never borrows cached answers.
 	h := engine.NewHandle(engine.Compile(tree))
 	hc := engine.NewHandle(engine.Compile(tree))
+	h.SetTelemetry(opts.Telemetry)
+	hc.SetTelemetry(opts.Telemetry)
 	hc.EnableCache(4 * flows)
 
 	// Differential verification before any measurement: text, binary and
@@ -147,10 +153,10 @@ func runIngest(n int, opts Options) ([]IngestRow, error) {
 		return nil, err
 	}
 
-	measure := func(data []byte, hh *engine.Handle) (pps, allocsPerPkt float64, err error) {
+	measure := func(data []byte, hh *engine.Handle) (pps, allocsPerPkt float64, p50, p99 int64, err error) {
 		// One warm pass, then timed passes over the same bytes.
 		if _, err := stream.Run(hh, bytes.NewReader(data), io.Discard); err != nil {
-			return 0, 0, err
+			return 0, 0, 0, 0, err
 		}
 		const minDur = 80 * time.Millisecond
 		var packets, allocs int64
@@ -160,13 +166,14 @@ func runIngest(n int, opts Options) ([]IngestRow, error) {
 			src.Reset(data)
 			st, err := stream.Run(hh, src, io.Discard)
 			if err != nil {
-				return 0, 0, err
+				return 0, 0, 0, 0, err
 			}
 			packets += st.Packets
 			allocs += st.Allocs
+			p50, p99 = st.BatchP50Ns, st.BatchP99Ns
 		}
 		dur := time.Since(start).Seconds()
-		return float64(packets) / dur, float64(allocs) / float64(packets), nil
+		return float64(packets) / dur, float64(allocs) / float64(packets), p50, p99, nil
 	}
 
 	rows := []IngestRow{
@@ -178,7 +185,8 @@ func runIngest(n int, opts Options) ([]IngestRow, error) {
 	inputs := [][]byte{text.Bytes(), bin.Bytes(), bin.Bytes()}
 	for i := range rows {
 		rows[i].Flows, rows[i].Burst = flows, burst
-		rows[i].PPS, rows[i].AllocsPerPkt, err = measure(inputs[i], handles[i])
+		rows[i].PPS, rows[i].AllocsPerPkt, rows[i].BatchP50Ns, rows[i].BatchP99Ns, err =
+			measure(inputs[i], handles[i])
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", rows[i].Format, err)
 		}
@@ -193,12 +201,14 @@ func runIngest(n int, opts Options) ([]IngestRow, error) {
 func IngestTable(rows []IngestRow) *Table {
 	t := &Table{
 		Title:  "End-to-end ingest (decode → classify → serialize), text vs binary framing",
-		Header: []string{"Rules", "Format", "Flows", "Input bytes", "pps", "allocs/pkt", "Speedup"},
+		Header: []string{"Rules", "Format", "Flows", "Input bytes", "pps", "allocs/pkt", "batch p50", "batch p99", "Speedup"},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
 			itoa(r.N), r.Format, itoa(r.Flows), itoa(r.InputBytes),
 			f0(r.PPS), fmt.Sprintf("%.4f", r.AllocsPerPkt),
+			fmt.Sprintf("%.0fµs", float64(r.BatchP50Ns)/1e3),
+			fmt.Sprintf("%.0fµs", float64(r.BatchP99Ns)/1e3),
 			fmt.Sprintf("%.2fx", r.SpeedupX),
 		})
 	}

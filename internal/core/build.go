@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/rule"
 )
@@ -20,6 +21,7 @@ import (
 // whose structure, layout and statistics are identical to the sequential
 // (Workers=1) build.
 func Build(rs rule.RuleSet, cfg Config) (*Tree, error) {
+	buildStart := time.Now()
 	if err := cfg.sanitize(); err != nil {
 		return nil, err
 	}
@@ -47,6 +49,7 @@ func Build(rs rule.RuleSet, cfg Config) (*Tree, error) {
 	if err := t.layout(); err != nil {
 		return nil, err
 	}
+	t.buildNanos = int64(time.Since(buildStart))
 	return t, nil
 }
 

@@ -260,7 +260,24 @@ type Tree struct {
 	// in the encoded image. Rebuilt by layout(), maintained by the
 	// copy-on-write repointing in InsertDelta.
 	leafParents map[*Node]map[int]int
+
+	// buildNanos / layoutNanos are wall-clock construction timings for
+	// the telemetry plane: the whole Build (cutting + layout) and the
+	// most recent full layout pass (Relayout — the recompile path's
+	// compaction cost). Kept out of BuildStats, which must stay
+	// identical between sequential and parallel builds.
+	buildNanos  int64
+	layoutNanos int64
 }
+
+// BuildNanos reports the wall-clock duration of the Build call that
+// produced this tree, in nanoseconds.
+func (t *Tree) BuildNanos() int64 { return t.buildNanos }
+
+// LastLayoutNanos reports the wall-clock duration of the most recent
+// full layout pass (the Build's initial layout, or the latest Relayout),
+// in nanoseconds.
+func (t *Tree) LastLayoutNanos() int64 { return t.layoutNanos }
 
 // Config returns the build configuration.
 func (t *Tree) Config() Config { return t.cfg }

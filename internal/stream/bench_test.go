@@ -59,7 +59,7 @@ func BenchmarkIngest(b *testing.B) {
 			if _, err := Run(h, src, io.Discard); err != nil { // warm
 				b.Fatal(err)
 			}
-			var packets, allocs int64
+			var packets, allocs, p50, p99 int64
 			b.SetBytes(int64(len(tc.data)))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -70,9 +70,14 @@ func BenchmarkIngest(b *testing.B) {
 				}
 				packets += st.Packets
 				allocs += st.Allocs
+				p50, p99 = st.BatchP50Ns, st.BatchP99Ns
 			}
 			b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "pps")
 			b.ReportMetric(float64(allocs)/float64(packets), "allocs_pkt")
+			// Per-batch latency quantiles of the last pass (log2-bucket
+			// estimates from the pipeline's own histogram).
+			b.ReportMetric(float64(p50), "p50_ns")
+			b.ReportMetric(float64(p99), "p99_ns")
 		})
 	}
 }

@@ -32,9 +32,11 @@ import (
 	"runtime/metrics"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/rule"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -64,6 +66,18 @@ type Stats struct {
 	// Binary reports that the source was detected as binary-framed
 	// (wire format or pcap) rather than the text shim.
 	Binary bool
+	// BatchP50Ns and BatchP99Ns are the run's per-batch classify+encode
+	// latency quantiles in nanoseconds (log2-bucket estimates, exact to
+	// within a factor of two): the latency-under-load observable —
+	// dividing by the batch size bounds per-packet queuing delay. Zero
+	// when the run dispatched no batches.
+	BatchP50Ns, BatchP99Ns int64
+	// ReaderStalls counts decode-stage waits for a free pipeline slot
+	// (the classify/write side was the bottleneck); WriterStalls counts
+	// classify-stage waits for the done ring to drain (output
+	// serialization was the bottleneck). Both zero means the source was
+	// the bottleneck — the pipeline ran input-bound.
+	ReaderStalls, WriterStalls int64
 }
 
 // slot is one ring entry: reused input, result and per-core output
@@ -257,6 +271,10 @@ func encWorkers() int {
 type slotRing struct {
 	slots   [slots]*slot
 	workers int
+	// hist accumulates the run's per-batch classify+encode latency; it
+	// rides the pooled ring so a stream's fixed cost does not include
+	// allocating it, and is Reset at the start of every run.
+	hist telemetry.Hist
 }
 
 var ringPool sync.Pool
@@ -288,7 +306,13 @@ func run(h *engine.Handle, src wire.BatchReader, w io.Writer) (Stats, bool, erro
 	workers := encWorkers()
 	free := make(chan *slot, slots)
 	work := make(chan *slot, slots)
-	done := make(chan *slot, slots)
+	// done holds fewer than all slots so a writer that falls behind is
+	// observable: with capacity for every slot the classify stage could
+	// never block on it (the stall counter would be structurally zero).
+	// Total pipelining is bounded by the slot count either way — slots
+	// stuck in done starve the free ring — so this only moves where the
+	// backpressure surfaces, not how much there is.
+	done := make(chan *slot, slots/2)
 	abort := make(chan struct{})
 	var abortOnce sync.Once
 	stop := func() { abortOnce.Do(func() { close(abort) }) }
@@ -299,9 +323,12 @@ func run(h *engine.Handle, src wire.BatchReader, w io.Writer) (Stats, bool, erro
 	// since a blocking source must not delay the error return).
 	var exited atomic.Int32
 	ring := getRing(workers)
+	ring.hist.Reset()
 	for _, s := range ring.slots {
 		free <- s
 	}
+	tel := h.Telemetry()
+	var readerStalls, writerStalls atomic.Int64
 
 	// Stage 1: frame decoding. Fills slots from the free ring and hands
 	// them to the classify stage in input order.
@@ -312,8 +339,17 @@ func run(h *engine.Handle, src wire.BatchReader, w io.Writer) (Stats, bool, erro
 			var s *slot
 			select {
 			case s = <-free:
-			case <-abort:
-				return
+			default:
+				// No free slot: the classify/write side is behind.
+				readerStalls.Add(1)
+				if tel != nil {
+					tel.ReaderStalls.Inc()
+				}
+				select {
+				case s = <-free:
+				case <-abort:
+					return
+				}
 			}
 			n, err := src.ReadBatch(s.pkts)
 			s.n, s.err = n, err
@@ -342,13 +378,32 @@ func run(h *engine.Handle, src wire.BatchReader, w io.Writer) (Stats, bool, erro
 		defer exited.Add(1)
 		for s := range work {
 			if s.err == nil && s.n > 0 {
+				start := time.Now()
 				h.ParallelClassifyCached(s.pkts[:s.n], s.out[:s.n], 0)
 				encodeSegments(s, workers)
+				ns := int64(time.Since(start))
+				ring.hist.Observe(ns)
+				if tel != nil {
+					tel.StreamBatchNs.Observe(ns)
+					tel.StreamPackets.Add(uint64(s.n))
+					tel.StreamBatches.Inc()
+					tel.WorkQueue.Set(int64(len(work)))
+					tel.DoneQueue.Set(int64(len(done)))
+				}
 			}
 			select {
 			case done <- s:
-			case <-abort:
-				return
+			default:
+				// Done ring full: output serialization is behind.
+				writerStalls.Add(1)
+				if tel != nil {
+					tel.WriterStalls.Inc()
+				}
+				select {
+				case done <- s:
+				case <-abort:
+					return
+				}
 			}
 		}
 	}()
@@ -392,6 +447,12 @@ func run(h *engine.Handle, src wire.BatchReader, w io.Writer) (Stats, bool, erro
 	// the clean path, so 2 here proves no goroutine still touches the
 	// ring's buffers (or the source's).
 	safe := exited.Load() == 2
+	st.ReaderStalls = readerStalls.Load()
+	st.WriterStalls = writerStalls.Load()
+	if hs := ring.hist.Snapshot(); hs.Count > 0 {
+		st.BatchP50Ns = int64(hs.Quantile(0.50))
+		st.BatchP99Ns = int64(hs.Quantile(0.99))
+	}
 	if safe {
 		ringPool.Put(ring)
 	}

@@ -1,0 +1,71 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/classbench"
+	"repro/internal/telemetry"
+)
+
+// The pipeline's per-run histogram must land latency quantiles in Stats,
+// and an attached recorder must see the stream counters move.
+func TestStreamStatsLatencyQuantiles(t *testing.T) {
+	h, rs := testHandle(t, 200)
+	trace := classbench.GenerateTrace(rs, 6*BatchSize, 42)
+	data := encodeBinary(t, trace)
+
+	st, err := Run(h, bytes.NewReader(data), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Packets != int64(len(trace)) {
+		t.Fatalf("packets = %d, want %d", st.Packets, len(trace))
+	}
+	if st.BatchP50Ns <= 0 {
+		t.Errorf("BatchP50Ns = %d, want > 0", st.BatchP50Ns)
+	}
+	if st.BatchP99Ns < st.BatchP50Ns {
+		t.Errorf("BatchP99Ns = %d < BatchP50Ns = %d", st.BatchP99Ns, st.BatchP50Ns)
+	}
+	if st.ReaderStalls < 0 || st.WriterStalls < 0 {
+		t.Errorf("negative stall counters: %+v", st)
+	}
+	// The histogram rides the pooled slot ring: a second run must not
+	// inherit the first run's observations (quantiles are per-run).
+	st2, err := Run(h, bytes.NewReader(data), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.BatchP50Ns <= 0 {
+		t.Errorf("second run BatchP50Ns = %d, want > 0", st2.BatchP50Ns)
+	}
+}
+
+func TestStreamFeedsRecorder(t *testing.T) {
+	h, rs := testHandle(t, 200)
+	rec := telemetry.New()
+	h.SetTelemetry(rec)
+	trace := classbench.GenerateTrace(rs, 3*BatchSize, 43)
+	data := encodeBinary(t, trace)
+
+	st, err := Run(h, bytes.NewReader(data), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.StreamPackets.Load(); got != uint64(st.Packets) {
+		t.Errorf("recorder stream packets = %d, want %d", got, st.Packets)
+	}
+	if got := rec.StreamBatches.Load(); got != uint64(st.Batches) {
+		t.Errorf("recorder stream batches = %d, want %d", got, st.Batches)
+	}
+	// The classify stage routes through the handle, so the data-plane
+	// counters move too, by exactly the streamed packet count.
+	if got := rec.Packets.Load(); got != uint64(st.Packets) {
+		t.Errorf("recorder packets = %d, want %d", got, st.Packets)
+	}
+	if hs := rec.StreamBatchNs.Snapshot(); hs.Count != uint64(st.Batches) {
+		t.Errorf("stream batch histogram count = %d, want %d", hs.Count, st.Batches)
+	}
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the telemetry exposition plane: /metrics (Prometheus text
+// format), /debug/events (the flight recorder as JSON), and the standard
+// /debug/pprof handlers, bound to one Recorder. It runs on its own
+// listener and mux, never the process-global DefaultServeMux, so
+// embedding it cannot collide with an application's own handlers.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the exposition server on addr (host:port; ":0" picks a
+// free port — read it back with Addr). The server runs until Close.
+func Serve(addr string, r *Recorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(r)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down, waiting briefly for in-flight scrapes.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// Handler returns the exposition mux for r — useful for mounting the
+// telemetry plane inside an existing server.
+func Handler(r *Recorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteProm(w)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeEventsJSON(w, r)
+	})
+	// net/http/pprof registers on DefaultServeMux as an import side
+	// effect; wire its handlers explicitly so this mux stays private.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("repro telemetry: /metrics /debug/events /debug/pprof/\n"))
+	})
+	return mux
+}
+
+// EventJSON is the /debug/events wire shape of one flight-recorder
+// record: Event with the kind rendered as its schema name.
+type EventJSON struct {
+	Seq   uint64 `json:"seq"`
+	Nanos int64  `json:"nanos"`
+	Kind  string `json:"kind"`
+	Epoch uint64 `json:"epoch"`
+	V1    int64  `json:"v1"`
+	V2    int64  `json:"v2"`
+	V3    int64  `json:"v3"`
+}
+
+// EventsDump is the /debug/events response document.
+type EventsDump struct {
+	// NowNanos is the recorder's monotonic clock at dump time — the
+	// base events' Nanos are comparable against.
+	NowNanos int64 `json:"now_nanos"`
+	// Dropped counts events lost to ring wraparound.
+	Dropped uint64 `json:"dropped"`
+	// Events are the retained records, oldest first.
+	Events []EventJSON `json:"events"`
+}
+
+func writeEventsJSON(w http.ResponseWriter, r *Recorder) {
+	evs := r.Events.Snapshot()
+	dump := EventsDump{
+		NowNanos: r.NowNanos(),
+		Dropped:  r.Events.Dropped(),
+		Events:   make([]EventJSON, len(evs)),
+	}
+	for i, e := range evs {
+		dump.Events[i] = EventJSON{
+			Seq: e.Seq, Nanos: e.Nanos, Kind: e.Kind.String(),
+			Epoch: e.Epoch, V1: e.V1, V2: e.V2, V3: e.V3,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(dump)
+}

@@ -30,6 +30,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/classbench"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/rule"
 	"repro/internal/sa1100"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // Re-exported primitive types.
@@ -139,6 +141,16 @@ type Config struct {
 	// REPRO_SCAN_KERNEL environment variable sets the same default at
 	// process start. See DESIGN.md §10.
 	ScanKernel string
+	// TelemetryAddr, when non-empty, serves the accelerator's telemetry
+	// plane over HTTP on that host:port (":0" picks a free port — read
+	// it back with Accelerator.TelemetryAddr): Prometheus text-format
+	// metrics on /metrics, the flight-recorder event ring on
+	// /debug/events, and the standard pprof handlers on /debug/pprof/.
+	// Telemetry itself (counters, latency histograms, the flight
+	// recorder behind Accelerator.Telemetry) is always on — it is
+	// engineered to cost nothing measurable — so this flag only
+	// controls the HTTP exposition. See DESIGN.md §12.
+	TelemetryAddr string
 }
 
 // ScanKernels lists the leaf-scan kernels available on this CPU and
@@ -197,6 +209,12 @@ type Accelerator struct {
 
 	maint       sync.WaitGroup // in-flight background recompiles
 	recompiling atomic.Bool
+
+	// tel is the always-on telemetry plane: every classification and
+	// control-plane layer emits into it, and Telemetry() snapshots it.
+	// telSrv is the optional HTTP exposition (Config.TelemetryAddr).
+	tel    *telemetry.Recorder
+	telSrv *telemetry.Server
 }
 
 // BuildAccelerator constructs the modified decision tree for rs, encodes
@@ -248,7 +266,44 @@ func BuildAccelerator(rs RuleSet, cfg Config) (*Accelerator, error) {
 	if cfg.CacheSize > 0 {
 		a.handle.EnableCache(cfg.CacheSize)
 	}
+	a.tel = telemetry.New()
+	a.handle.SetTelemetry(a.tel)
+	a.tel.BuildNs.Observe(tree.BuildNanos())
+	a.tel.Events.Record(telemetry.EvBuild, 0,
+		tree.BuildNanos(), int64(len(rs)), int64(tree.Words()))
+	a.tel.RegisterCollector(a.collectScrape)
+	if cfg.TelemetryAddr != "" {
+		srv, err := telemetry.Serve(cfg.TelemetryAddr, a.tel)
+		if err != nil {
+			return nil, fmt.Errorf("repro: telemetry listener: %w", err)
+		}
+		a.telSrv = srv
+	}
 	return a, nil
+}
+
+// collectScrape contributes the scrape-time /metrics samples whose live
+// state is owned elsewhere: the flow cache's own atomic counters and the
+// mutex-guarded tree quantities. It runs only while an exposition is
+// rendered, so taking a.mu here costs the data plane nothing.
+func (a *Accelerator) collectScrape(emit func(name string, value float64)) {
+	if c := a.handle.Cache(); c != nil {
+		st := c.Stats()
+		emit("repro_cache_hits_total", float64(st.Hits))
+		emit("repro_cache_misses_total", float64(st.Misses))
+		emit("repro_cache_stale_evictions_total", float64(st.StaleEvictions))
+		emit("repro_cache_evictions_total", float64(st.Evictions))
+		emit("repro_cache_inserts_total", float64(st.Inserts))
+		emit("repro_cache_live_entries", float64(st.Occupied))
+	}
+	a.mu.Lock()
+	deg := a.tree.Degradation()
+	orphans := a.tree.Orphans()
+	words := a.tree.Words()
+	a.mu.Unlock()
+	emit("repro_tree_degradation", deg)
+	emit("repro_tree_orphan_leaves", float64(orphans))
+	emit("repro_tree_words", float64(words))
 }
 
 // Classify returns the highest-priority matching rule ID for p, or -1,
@@ -493,6 +548,17 @@ func (a *Accelerator) applyBatchLocked(ds []*core.Delta) error {
 	if len(ds) == 0 {
 		return nil
 	}
+	// Flight-record the tree-side absorption (the patch/publish that
+	// follows records its own events in the handle), and refresh the
+	// degradation gauge the updates just moved.
+	var dirty, edits int
+	for _, d := range ds {
+		dirty += d.DirtyWordCount()
+		edits += len(d.LeafEdits)
+	}
+	a.tel.Events.Record(telemetry.EvDeltaApply, a.handle.Current().Epoch(),
+		int64(dirty), int64(len(ds)), int64(edits))
+	a.tel.DegradationPPM.Set(int64(a.tree.Degradation() * 1e6))
 	if _, err := a.handle.ApplyBatch(ds); err != nil {
 		a.patchErr = fmt.Errorf("repro: batch delta patch failed (updates applied via full recompile): %w", err)
 		a.recompileLocked()
@@ -541,6 +607,118 @@ func (a *Accelerator) Degradation() float64 {
 // incremented by every applied update and recompile swap.
 func (a *Accelerator) Epoch() uint64 { return a.handle.Current().Epoch() }
 
+// TelemetryEvent is one flight-recorder record: a classification-plane
+// lifecycle transition (epoch publish, degradation trip, recompile,
+// cache-invalidation wave, device write, ...) with a monotonic timestamp
+// and kind-specific payload words. See internal/telemetry.Event and the
+// EventKind constants for the schema.
+type TelemetryEvent = telemetry.Event
+
+// TelemetrySnapshot is a point-in-time view of the accelerator's
+// telemetry plane: the lifetime data-plane and control-plane counters,
+// the structural health gauges, classify-latency quantiles, the flow
+// cache's counters, and the retained flight-recorder events
+// (oldest-first). All quantities are internally consistent to within
+// in-flight updates; Telemetry() takes no data-plane locks.
+type TelemetrySnapshot struct {
+	// Epoch is the newest published engine epoch.
+	Epoch uint64
+	// Packets and Batches count classifications through the engine
+	// handle's batch paths (ClassifyBatch, ClassifyStream).
+	Packets, Batches uint64
+	// EpochPublishes counts snapshot publications (patches + swaps);
+	// DeltasApplied the tree deltas replayed onto the engine;
+	// PatchFailures the deltas that fell back to a full recompile.
+	EpochPublishes, DeltasApplied, PatchFailures uint64
+	// Recompiles counts completed rebuild/swap cycles and
+	// DegradationTrips the threshold crossings that triggered them.
+	Recompiles, DegradationTrips uint64
+	// CacheInvalidations counts flow-cache invalidation waves (epoch
+	// bumps with a cache attached).
+	CacheInvalidations uint64
+	// GarbageRatio is the published engine's arena-garbage fraction;
+	// Degradation and Orphans mirror Accelerator.Degradation and the
+	// tree's orphaned-leaf count.
+	GarbageRatio, Degradation float64
+	Orphans                   int
+	// SnapshotAgeNs is how long ago the newest epoch was published
+	// (monotonic nanoseconds; the age of what readers classify on).
+	SnapshotAgeNs int64
+	// ClassifyP50Ns and ClassifyP99Ns are per-batch classify-latency
+	// quantile estimates (log2-bucket resolution; 0 until a batch ran).
+	ClassifyP50Ns, ClassifyP99Ns int64
+	// Cache is the flow cache's counter snapshot (zero value when
+	// caching is disabled).
+	Cache CacheStats
+	// Events is the flight recorder's retained history, oldest-first;
+	// EventsDropped is how many older events wraparound discarded.
+	Events        []TelemetryEvent
+	EventsDropped uint64
+}
+
+// Telemetry snapshots the accelerator's always-on telemetry plane. It is
+// cheap (atomic loads plus one copy of the event ring) and safe to call
+// at any rate from monitoring loops; the same data serves the HTTP
+// exposition enabled by Config.TelemetryAddr.
+func (a *Accelerator) Telemetry() TelemetrySnapshot {
+	t := a.tel
+	a.mu.Lock()
+	deg := a.tree.Degradation()
+	orphans := a.tree.Orphans()
+	a.mu.Unlock()
+	s := TelemetrySnapshot{
+		Epoch:              a.handle.Current().Epoch(),
+		Packets:            t.Packets.Load(),
+		Batches:            t.Batches.Load(),
+		EpochPublishes:     t.Epochs.Load(),
+		DeltasApplied:      t.Deltas.Load(),
+		PatchFailures:      t.PatchFails.Load(),
+		Recompiles:         t.Recompiles.Load(),
+		DegradationTrips:   t.DegradTrips.Load(),
+		CacheInvalidations: t.CacheInv.Load(),
+		GarbageRatio:       float64(t.GarbagePPM.Load()) / 1e6,
+		Degradation:        deg,
+		Orphans:            orphans,
+		SnapshotAgeNs:      t.NowNanos() - t.LastPublishNs.Load(),
+		Cache:              a.CacheStats(),
+		Events:             t.Events.Snapshot(),
+		EventsDropped:      t.Events.Dropped(),
+	}
+	if hs := t.ClassifyNs.Snapshot(); hs.Count > 0 {
+		s.ClassifyP50Ns = int64(hs.Quantile(0.50))
+		s.ClassifyP99Ns = int64(hs.Quantile(0.99))
+	}
+	return s
+}
+
+// TelemetryEvents returns the flight recorder's retained events,
+// oldest-first — Telemetry().Events without the counter snapshot.
+func (a *Accelerator) TelemetryEvents() []TelemetryEvent {
+	return a.tel.Events.Snapshot()
+}
+
+// TelemetryAddr returns the listen address of the telemetry HTTP plane —
+// useful with Config.TelemetryAddr ":0" — or "" when no server was
+// started.
+func (a *Accelerator) TelemetryAddr() string {
+	if a.telSrv == nil {
+		return ""
+	}
+	return a.telSrv.Addr()
+}
+
+// Close waits for in-flight background recompiles and shuts down the
+// telemetry HTTP server if Config.TelemetryAddr started one. The
+// accelerator itself needs no teardown; classifying after Close is still
+// valid (only the HTTP exposition is gone).
+func (a *Accelerator) Close() error {
+	a.maint.Wait()
+	if a.telSrv != nil {
+		return a.telSrv.Close()
+	}
+	return nil
+}
+
 // LoadError reports whether the last lazy device-memory rewrite failed —
 // typically because updates grew the structure past the device's word
 // capacity. Software classification is unaffected; the hardware-model
@@ -570,6 +748,11 @@ func (a *Accelerator) maybeRecompileLocked() {
 	if !a.recompiling.CompareAndSwap(false, true) {
 		return // one rebuild in flight is enough
 	}
+	a.tel.DegradTrips.Inc()
+	a.tel.Events.Record(telemetry.EvDegradationTrip, a.handle.Current().Epoch(),
+		int64(a.tree.Degradation()*1e6),
+		int64(a.handle.Current().Engine().GarbageRatio()*1e6),
+		int64((a.degFloor+a.threshold)*1e6))
 	a.maint.Add(1)
 	go func() {
 		defer a.maint.Done()
@@ -591,13 +774,22 @@ func (a *Accelerator) Recompile() {
 }
 
 func (a *Accelerator) recompileLocked() {
+	start := time.Now()
+	a.tel.Events.Record(telemetry.EvRecompileStart, a.handle.Current().Epoch(),
+		int64(a.tree.Degradation()*1e6), int64(a.tree.Orphans()), 0)
 	a.tree.Relayout()
-	a.handle.Swap(engine.Compile(a.tree))
+	s := a.handle.Swap(engine.Compile(a.tree))
 	// Relayout moves leaf indices and word numbers, so queued deltas
 	// are invalid for the device image: full re-encode on next use.
 	a.simFull = true
 	a.simPending = nil
 	a.degFloor = a.tree.Degradation()
+	ns := int64(time.Since(start))
+	a.tel.Recompiles.Inc()
+	a.tel.RecompileNs.Observe(ns)
+	a.tel.DegradationPPM.Set(int64(a.degFloor * 1e6))
+	a.tel.Events.Record(telemetry.EvRecompileDone, s.Epoch(),
+		ns, int64(a.tree.Words()), int64(a.degFloor*1e6))
 }
 
 // WaitMaintenance blocks until background recompiles in flight have
@@ -620,8 +812,10 @@ func (a *Accelerator) ensureSimLocked() error {
 		return a.simErr
 	}
 	if !a.simFull && a.simErr == nil && a.sim != nil {
-		if _, err := a.sim.ApplyDelta(a.tree, a.simPending...); err == nil {
+		if n, err := a.sim.ApplyDelta(a.tree, a.simPending...); err == nil {
 			a.simPending = nil
+			a.tel.Events.Record(telemetry.EvDeviceWrite,
+				a.handle.Current().Epoch(), int64(n), 0, 0)
 			return nil
 		}
 		// The word-level patch failed (typically the structure outgrew
@@ -647,6 +841,8 @@ func (a *Accelerator) ensureSimLocked() error {
 	}
 	a.sim = sim
 	a.simErr = nil
+	a.tel.Events.Record(telemetry.EvDeviceWrite,
+		a.handle.Current().Epoch(), sim.LoadCycles(), 1, 0)
 	return nil
 }
 

@@ -23,9 +23,13 @@
 # trajectory; the
 # Ingest/{text,binary,binary+cache} rows record the line-rate ingest
 # claim: binary framing ≥5x the text shim's pps at 10k rules with
-# allocs_pkt ~0, and FrameDecode/FrameEncode/PcapDecode pin the raw
-# zero-copy codec rates) is written so the perf trajectory is trackable
-# across PRs without parsing text tables.
+# allocs_pkt ~0, plus per-batch latency quantiles p50_ns/p99_ns from the
+# stream pipeline's own histogram, and FrameDecode/FrameEncode/PcapDecode
+# pin the raw zero-copy codec rates; the TelemetryOverhead/{off,on} rows
+# additionally synthesize one telemetry_overhead row recording the
+# instrumented-vs-uninstrumented pps ratio, which must stay >= 0.98) is
+# written so the perf trajectory is trackable across PRs without parsing
+# text tables.
 #
 # Environment knobs:
 #   BENCH  regex of benchmarks to run (default: engine + build suite)
@@ -36,7 +40,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-Classify|Build|Compile|Patch|LeafScan|Ingest|Frame|Pcap|StoreRuleSlot}"
+BENCH="${BENCH:-Classify|Build|Compile|Patch|LeafScan|Ingest|Frame|Pcap|StoreRuleSlot|TelemetryOverhead}"
 COUNT="${COUNT:-10}"
 TIME="${TIME:-0.5s}"
 JSON="${JSON:-BENCH_$(date +%F).json}"
@@ -55,7 +59,7 @@ awk '
   /^Benchmark/ {
     name = $1; ns = ""; bop = ""; allocs = ""; mbs = "";
     pps = ""; allocspkt = ""; hitrate = ""; occupied = ""; stale = "";
-    dirtywords = ""; imgwords = ""; kern = "";
+    dirtywords = ""; imgwords = ""; kern = ""; p50 = ""; p99 = "";
     if (match(name, /kernel=[a-zA-Z0-9]+/)) kern = substr(name, RSTART+7, RLENGTH-7);
     for (i = 2; i <= NF; i++) {
       if ($i == "ns/op")      ns         = $(i-1);
@@ -69,7 +73,13 @@ awk '
       if ($i == "stale")      stale      = $(i-1);
       if ($i == "dirtywords") dirtywords = $(i-1);
       if ($i == "imgwords")   imgwords   = $(i-1);
+      if ($i == "p50_ns")     p50        = $(i-1);
+      if ($i == "p99_ns")     p99        = $(i-1);
     }
+    # Track the last-seen TelemetryOverhead pps pair for the synthetic
+    # overhead row emitted at END.
+    if (pps != "" && name ~ /TelemetryOverhead\/off/) tel_off = pps;
+    if (pps != "" && name ~ /TelemetryOverhead\/on/)  tel_on  = pps;
     if (ns == "") next;
     row = sprintf("  {\"name\":\"%s\",\"ns_op\":%s", name, ns);
     if (bop      != "") row = row sprintf(",\"b_op\":%s", bop);
@@ -83,10 +93,15 @@ awk '
     if (dirtywords != "") row = row sprintf(",\"dirtywords\":%s", dirtywords);
     if (imgwords   != "") row = row sprintf(",\"imgwords\":%s", imgwords);
     if (kern       != "") row = row sprintf(",\"kernel\":\"%s\"", kern);
+    if (p50        != "") row = row sprintf(",\"p50_ns\":%s", p50);
+    if (p99        != "") row = row sprintf(",\"p99_ns\":%s", p99);
     row = row "}";
     rows[nrows++] = row;
   }
   END {
+    if (tel_off != "" && tel_on != "")
+      rows[nrows++] = sprintf("  {\"name\":\"telemetry_overhead\",\"ns_op\":0,\"pps_off\":%s,\"pps_on\":%s,\"ratio\":%.4f}",
+                              tel_off, tel_on, tel_on / tel_off);
     print "[";
     for (i = 0; i < nrows; i++) printf "%s%s\n", rows[i], (i < nrows-1 ? "," : "");
     print "]";
