@@ -20,6 +20,15 @@
 //	pcsim -profile acl1 -n 2191 -telemetry 127.0.0.1:9090 -hold 60s &
 //	curl -s http://127.0.0.1:9090/metrics | grep repro_packets_total
 //	go tool pprof http://127.0.0.1:9090/debug/pprof/profile?seconds=5
+//
+// -save writes the compiled engine's versioned image (internal/image)
+// after the run; -restore boots the host engine from such an image
+// instead of building the search structure — the cold-start path a
+// restarting replica takes. The device simulation needs the
+// control-plane tree and is skipped under -restore:
+//
+//	pcsim -profile acl1 -n 10000 -save acl1.pcei
+//	pcsim -restore acl1.pcei -trace 20000
 package main
 
 import (
@@ -57,16 +66,25 @@ func main() {
 		binth     = flag.Int("binth", 120, "leaf threshold")
 		telemAddr = flag.String("telemetry", "", "serve /metrics, /debug/events and /debug/pprof on this host:port (\":0\" picks a port)")
 		hold      = flag.Duration("hold", 0, "keep serving telemetry this long after the run (requires -telemetry)")
+		savePath  = flag.String("save", "", "write the compiled engine image to this file after the run")
+		restore   = flag.String("restore", "", "boot the host engine from an engine image instead of building (skips the device simulation)")
 	)
 	flag.Parse()
 
-	if err := run(*rulesFile, *traceFile, *profile, *n, *traceN, *seed, *algo, *device, *speed, *spfac, *binth, *telemAddr, *hold); err != nil {
+	if err := run(*rulesFile, *traceFile, *profile, *n, *traceN, *seed, *algo, *device, *speed, *spfac, *binth, *telemAddr, *hold, *savePath, *restore); err != nil {
 		fmt.Fprintln(os.Stderr, "pcsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rulesFile, traceFile, profile string, n, traceN int, seed int64, algo, device string, speed, spfac, binth int, telemAddr string, hold time.Duration) error {
+func run(rulesFile, traceFile, profile string, n, traceN int, seed int64, algo, device string, speed, spfac, binth int, telemAddr string, hold time.Duration, savePath, restorePath string) error {
+	// Restore boots straight from a serialized engine image: no ruleset,
+	// no tree build — the replica cold-start path. The trace still comes
+	// from -tracefile, or is synthesized from -profile/-n when absent.
+	if restorePath != "" {
+		return runRestore(restorePath, traceFile, profile, n, traceN, seed, telemAddr, hold)
+	}
+
 	// Inputs.
 	var rs rule.RuleSet
 	if rulesFile != "" {
@@ -89,16 +107,8 @@ func run(rulesFile, traceFile, profile string, n, traceN int, seed int64, algo, 
 
 	var trace []rule.Packet
 	if traceFile != "" {
-		f, err := os.Open(traceFile)
-		if err != nil {
-			return err
-		}
-		// Auto-detect the trace format: binary wire frames, a pcap
-		// capture, or text lines (see internal/stream.Detect).
-		src, _ := stream.Detect(bufio.NewReader(f))
-		trace, err = wire.ReadAll(src)
-		f.Close()
-		if err != nil {
+		var err error
+		if trace, err = readTraceFile(traceFile); err != nil {
 			return err
 		}
 	} else {
@@ -147,6 +157,20 @@ func run(rulesFile, traceFile, profile string, n, traceN int, seed int64, algo, 
 	// behind an epoch handle so the telemetry plane (when enabled) sees
 	// the same instrumented path production serving uses.
 	eng := engine.Compile(tree)
+	if savePath != "" {
+		f, err := os.Create(savePath)
+		if err != nil {
+			return err
+		}
+		written, err := eng.Snapshot(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("saving engine image: %w", err)
+		}
+		fmt.Printf("engine image: %d bytes -> %s\n", written, savePath)
+	}
 	h := engine.NewHandle(eng)
 	var srv *telemetry.Server
 	if telemAddr != "" {
@@ -198,6 +222,73 @@ func run(rulesFile, traceFile, profile string, n, traceN int, seed int64, algo, 
 		st.EnergyPerPacketJ, dev.PowerW*1000)
 	reportEngine(h, eng, trace)
 	holdOpen()
+	return nil
+}
+
+// readTraceFile loads a packet trace, auto-detecting binary wire
+// frames, a pcap capture, or text lines (see internal/stream.Detect).
+func readTraceFile(path string) ([]rule.Packet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	src, _ := stream.Detect(bufio.NewReader(f))
+	return wire.ReadAll(src)
+}
+
+// runRestore is the -restore path: deserialize a saved engine image and
+// serve from it immediately, measuring how long the cold start took.
+// The control-plane tree is not rebuilt, so the cycle-accurate device
+// simulation (which walks the tree encoding) is skipped; the host
+// engine throughput report runs as usual.
+func runRestore(restorePath, traceFile, profile string, n, traceN int, seed int64, telemAddr string, hold time.Duration) error {
+	data, err := os.ReadFile(restorePath)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	h, err := engine.RestoreBytes(data)
+	if err != nil {
+		return fmt.Errorf("restoring %s: %w", restorePath, err)
+	}
+	elapsed := time.Since(start)
+	eng := h.Current().Engine()
+	fmt.Printf("engine image: %d bytes from %s -> serving in %s (no control-plane build)\n",
+		len(data), restorePath, elapsed)
+	fmt.Printf("restored engine: %d nodes, %d bytes flat, scan kernel %q\n",
+		eng.NumNodes(), eng.MemoryBytes(), eng.Kernel())
+	fmt.Printf("NOTE: device simulation needs the control-plane tree; skipped under -restore.\n")
+
+	var trace []rule.Packet
+	if traceFile != "" {
+		if trace, err = readTraceFile(traceFile); err != nil {
+			return err
+		}
+	} else {
+		p, err := classbench.ProfileByName(profile)
+		if err != nil {
+			return err
+		}
+		rs := classbench.Generate(p, n, seed)
+		trace = classbench.GenerateTrace(rs, traceN, seed+1)
+	}
+
+	var srv *telemetry.Server
+	if telemAddr != "" {
+		rec := telemetry.New()
+		h.SetTelemetry(rec)
+		if srv, err = telemetry.Serve(telemAddr, rec); err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics /debug/events /debug/pprof/\n", srv.Addr())
+	}
+	reportEngine(h, eng, trace)
+	if srv != nil && hold > 0 {
+		fmt.Printf("telemetry: holding for %s\n", hold)
+		time.Sleep(hold)
+	}
 	return nil
 }
 

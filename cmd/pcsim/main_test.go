@@ -19,7 +19,7 @@ func TestRunSyntheticEndToEnd(t *testing.T) {
 		if i == 0 {
 			telem = "127.0.0.1:0"
 		}
-		if err := run("", "", "acl1", 300, 2000, 7, "hypercuts", device, 1, 4, 120, telem, 0); err != nil {
+		if err := run("", "", "acl1", 300, 2000, 7, "hypercuts", device, 1, 4, 120, telem, 0, "", ""); err != nil {
 			t.Fatalf("%s: %v", device, err)
 		}
 	}
@@ -50,20 +50,55 @@ func TestRunFromFiles(t *testing.T) {
 	}
 	tf.Close()
 
-	if err := run(rulesPath, tracePath, "", 0, 0, 0, "hicuts", "asic", 0, 4, 120, "", 0); err != nil {
+	if err := run(rulesPath, tracePath, "", 0, 0, 0, "hicuts", "asic", 0, 4, 120, "", 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", "acl1", 50, 100, 1, "bogus", "asic", 1, 4, 120, "", 0); err == nil {
+	if err := run("", "", "acl1", 50, 100, 1, "bogus", "asic", 1, 4, 120, "", 0, "", ""); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run("", "", "acl1", 50, 100, 1, "hicuts", "bogus", 1, 4, 120, "", 0); err == nil {
+	if err := run("", "", "acl1", 50, 100, 1, "hicuts", "bogus", 1, 4, 120, "", 0, "", ""); err == nil {
 		t.Error("unknown device accepted")
 	}
-	if err := run("/does/not/exist", "", "", 0, 0, 0, "hicuts", "asic", 1, 4, 120, "", 0); err == nil {
+	if err := run("/does/not/exist", "", "", 0, 0, 0, "hicuts", "asic", 1, 4, 120, "", 0, "", ""); err == nil {
 		t.Error("missing rules file accepted")
+	}
+}
+
+func TestRunSaveRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	imgPath := filepath.Join(dir, "acl1.pcei")
+
+	// -save writes the compiled engine image alongside a normal run.
+	if err := run("", "", "acl1", 300, 1000, 7, "hypercuts", "asic", 1, 4, 120, "", 0, imgPath, ""); err != nil {
+		t.Fatalf("save run: %v", err)
+	}
+	if fi, err := os.Stat(imgPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("image not written: %v (size %v)", err, fi)
+	}
+
+	// -restore boots from the image (no build) and reports throughput.
+	if err := run("", "", "acl1", 300, 1000, 7, "hypercuts", "asic", 1, 4, 120, "", 0, "", imgPath); err != nil {
+		t.Fatalf("restore run: %v", err)
+	}
+
+	// A corrupt image must fail closed, not serve garbage.
+	data, err := os.ReadFile(imgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	badPath := filepath.Join(dir, "bad.pcei")
+	if err := os.WriteFile(badPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "", "acl1", 300, 1000, 7, "hypercuts", "asic", 1, 4, 120, "", 0, "", badPath); err == nil {
+		t.Error("corrupt image accepted")
+	}
+	if err := run("", "", "acl1", 300, 1000, 7, "hypercuts", "asic", 1, 4, 120, "", 0, "", filepath.Join(dir, "missing.pcei")); err == nil {
+		t.Error("missing image accepted")
 	}
 }
 
@@ -97,7 +132,7 @@ func TestRunAutoDetectsBinaryAndPcapTraces(t *testing.T) {
 		"binary": write("trace.bin", wire.WriteTrace),
 		"pcap":   write("trace.pcap", wire.WritePcap),
 	} {
-		if err := run(rulesPath, path, "", 0, 0, 0, "hypercuts", "asic", 1, 4, 120, "", 0); err != nil {
+		if err := run(rulesPath, path, "", 0, 0, 0, "hypercuts", "asic", 1, 4, 120, "", 0, "", ""); err != nil {
 			t.Fatalf("%s trace: %v", name, err)
 		}
 	}

@@ -34,6 +34,7 @@ func main() {
 		churn       = flag.Bool("churn", false, "also print classification throughput under sustained rule updates (not a paper table)")
 		cacheTbl    = flag.Bool("cache", false, "also print flow-cache hit-rate/throughput on locality-skewed traces (not a paper table)")
 		ingestTbl   = flag.Bool("ingest", false, "also print end-to-end ingest throughput, text vs binary framing (not a paper table)")
+		coldTbl     = flag.Bool("coldstart", false, "also print build-vs-image-restore cold-start latency (not a paper table)")
 		telemAddr   = flag.String("telemetry", "", "serve live /metrics, /debug/events and /debug/pprof on this host:port while tables run")
 	)
 	flag.Parse()
@@ -60,16 +61,18 @@ func main() {
 	}
 
 	ingestSizes := []int(nil) // RunIngest default: 1k and 10k rules
+	coldSizes := []int(nil)   // RunColdStart default: 1k, 10k and 50k rules
 	if *quick {
 		ingestSizes = []int{500}
+		coldSizes = []int{500, 2000}
 	}
-	if err := run(*table, *ablation, *sensitivity, *engineTbl, *churn, *cacheTbl, *ingestTbl, ablN, ingestSizes, opts); err != nil {
+	if err := run(*table, *ablation, *sensitivity, *engineTbl, *churn, *cacheTbl, *ingestTbl, *coldTbl, ablN, ingestSizes, coldSizes, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pctables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, ablation, sensitivity, engineTbl, churn, cacheTbl, ingestTbl bool, ablN int, ingestSizes []int, opts bench.Options) error {
+func run(table int, ablation, sensitivity, engineTbl, churn, cacheTbl, ingestTbl, coldTbl bool, ablN int, ingestSizes, coldSizes []int, opts bench.Options) error {
 	needACL := table == 0 || table == 2 || table == 3 || table == 6 || table == 7 || table == 8
 	var rows []bench.ACL1Row
 	var err error
@@ -144,6 +147,16 @@ func run(table int, ablation, sensitivity, engineTbl, churn, cacheTbl, ingestTbl
 			return err
 		}
 		fmt.Println(bench.IngestTable(rows).Format())
+	}
+	if coldTbl {
+		fmt.Fprintln(os.Stderr, "measuring cold start (build vs image restore)...")
+		co := opts
+		co.Sizes = coldSizes
+		rows, err := bench.RunColdStart(co)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.ColdStartTable(rows).Format())
 	}
 	if sensitivity {
 		fmt.Fprintln(os.Stderr, "running seed-sensitivity study...")

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/classbench"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Cold-start measurement: how fast a restarting replica begins serving.
+// The baseline path rebuilds the search structure from the ruleset
+// (core.Build) and flattens it (engine.Compile); the image path
+// deserializes a saved engine snapshot (engine.RestoreEngineBytes) —
+// no decision-tree construction at all. The claim the image subsystem
+// is accountable to: restore at ACL1/10k rules is >= 100x faster than
+// the build path, and the restored engine classifies bit-identically
+// to the engine it was snapshotted from.
+
+// ColdStartRow is one cold-start comparison at a ruleset size.
+type ColdStartRow struct {
+	N    int
+	Algo string
+	// BuildNs is the best-of-k wall time of core.Build + engine.Compile.
+	BuildNs int64
+	// RestoreNs is the best-of-k wall time of engine.RestoreEngineBytes
+	// over the serialized snapshot of that same engine.
+	RestoreNs int64
+	// ImageBytes is the serialized snapshot size.
+	ImageBytes int64
+	// SpeedupX is BuildNs over RestoreNs.
+	SpeedupX float64
+}
+
+// RunColdStart measures build-vs-restore cold-start latency per
+// algorithm and ruleset size (default 1k/10k/50k ACL1 — 10k is the
+// headline row). Every restored engine is differentially verified
+// against its source before any number is reported.
+func RunColdStart(opts Options) ([]ColdStartRow, error) {
+	if len(opts.Sizes) == 0 {
+		opts.Sizes = []int{1000, 10000, 50000}
+	}
+	opts.sanitize()
+	var rows []ColdStartRow
+	for _, n := range opts.Sizes {
+		for _, algo := range []core.Algorithm{core.HyperCuts, core.HiCuts} {
+			row, err := runColdStart(n, algo, opts)
+			if err != nil {
+				return nil, fmt.Errorf("coldstart n=%d %v: %w", n, algo, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func runColdStart(n int, algo core.Algorithm, opts Options) (ColdStartRow, error) {
+	rs := classbench.Generate(classbench.ACL1(), n, opts.Seed)
+	cfg := core.DefaultConfig(algo)
+
+	// Large builds take hundreds of milliseconds; fewer repetitions keep
+	// the suite bounded without ceding best-of stability where it is
+	// cheap.
+	builds := 5
+	if n >= 20000 {
+		builds = 3
+	}
+	var eng *engine.Engine
+	buildNs := int64(1<<63 - 1)
+	for i := 0; i < builds; i++ {
+		start := time.Now()
+		tree, err := core.Build(rs, cfg)
+		if err != nil {
+			return ColdStartRow{}, err
+		}
+		e := engine.Compile(tree)
+		if d := time.Since(start).Nanoseconds(); d < buildNs {
+			buildNs = d
+		}
+		eng = e
+	}
+
+	var img bytes.Buffer
+	written, err := eng.Snapshot(&img)
+	if err != nil {
+		return ColdStartRow{}, err
+	}
+	data := img.Bytes()
+
+	const restores = 25
+	var restored *engine.Engine
+	restoreNs := int64(1<<63 - 1)
+	for i := 0; i < restores; i++ {
+		start := time.Now()
+		r, err := engine.RestoreEngineBytes(data)
+		if err != nil {
+			return ColdStartRow{}, err
+		}
+		if d := time.Since(start).Nanoseconds(); d < restoreNs {
+			restoreNs = d
+		}
+		restored = r
+	}
+
+	// Differential gate: the restored engine must classify exactly like
+	// the engine the image came from.
+	trace := classbench.GenerateTrace(rs, min(opts.TracePackets, 5000), opts.Seed+1)
+	want := make([]int32, len(trace))
+	got := make([]int32, len(trace))
+	eng.ClassifyBatch(trace, want)
+	restored.ClassifyBatch(trace, got)
+	for i := range want {
+		if want[i] != got[i] {
+			return ColdStartRow{}, fmt.Errorf("restored engine diverges at packet %d: got rule %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	return ColdStartRow{
+		N: n, Algo: algo.String(),
+		BuildNs: buildNs, RestoreNs: restoreNs,
+		ImageBytes: written,
+		SpeedupX:   float64(buildNs) / float64(restoreNs),
+	}, nil
+}
+
+// ColdStartTable renders the build-vs-restore cold-start comparison.
+func ColdStartTable(rows []ColdStartRow) *Table {
+	t := &Table{
+		Title:  "Cold start: rebuild (core.Build + Compile) vs image restore (RestoreEngineBytes)",
+		Header: []string{"Rules", "Algo", "Build+Compile", "Restore", "Image bytes", "Speedup"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			itoa(r.N), r.Algo,
+			fmt.Sprintf("%.2fms", float64(r.BuildNs)/1e6),
+			fmt.Sprintf("%.0fµs", float64(r.RestoreNs)/1e3),
+			fmt.Sprintf("%d", r.ImageBytes),
+			fmt.Sprintf("%.0fx", r.SpeedupX),
+		})
+	}
+	return t
+}

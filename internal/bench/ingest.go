@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"time"
@@ -16,7 +17,8 @@ import (
 
 // End-to-end ingest measurement: the full ClassifyStream path — framed
 // bytes in, result lines out — for the legacy text trace format, the
-// binary wire format, and binary with the flow cache enabled. This is
+// binary wire format, binary with the flow cache enabled, and a pcap
+// capture salted with unparseable records (the skip path). This is
 // the number the line-rate ingest work is accountable to: not classify
 // microbenchmarks, but packets through the whole decode → classify →
 // serialize pipeline per second, with allocations per packet alongside
@@ -43,6 +45,10 @@ type IngestRow struct {
 	// quantiles of the last measured pass (stream.Stats.BatchP50Ns,
 	// log2-bucket estimates).
 	BatchP50Ns, BatchP99Ns int64
+	// Skipped is the per-pass count of unparseable capture records the
+	// pipeline stepped over (pcap row only; the framed formats reject
+	// malformed input instead of skipping it).
+	Skipped int64
 }
 
 // RunIngest measures end-to-end ingest throughput per format for every
@@ -73,14 +79,34 @@ func runIngest(n int, opts Options) ([]IngestRow, error) {
 	flows := max(n/4, 256)
 	const burst = 16
 	trace := classbench.GenerateFlowTrace(rs, max(opts.TracePackets, 4*stream.BatchSize), flows, burst, opts.Seed+1)
+	// The pcap round-trip zeroes L4 ports for protocols other than
+	// TCP/UDP (no parseable header), which would make the pcap row
+	// classify a different trace than the framed formats. Pin every
+	// packet to TCP unless it is already UDP so all four formats — and
+	// the ClassifyBatch oracle — see byte-identical packets.
+	for i := range trace {
+		if trace[i].Proto != 17 {
+			trace[i].Proto = 6
+		}
+	}
 
-	var text, bin bytes.Buffer
+	var text, bin, pcap bytes.Buffer
 	if err := rule.WriteTrace(&text, trace); err != nil {
 		return nil, err
 	}
 	if err := wire.WriteTrace(&bin, trace); err != nil {
 		return nil, err
 	}
+	if err := wire.WritePcap(&pcap, trace); err != nil {
+		return nil, err
+	}
+	// Real captures carry frames the classifier cannot use (ARP, runts,
+	// non-IPv4). Append a fixed tail of such records so every measured
+	// pass exercises — and every verify pass pins — the skip path:
+	// stream.Stats.Skipped must report exactly this count while the
+	// result stream stays oracle-identical.
+	const pcapGarbage = 24
+	appendGarbagePcap(&pcap, pcapGarbage)
 
 	// Plain handle for the uncached rows; a second handle owns the flow
 	// cache so the "binary" row never borrows cached answers.
@@ -111,6 +137,7 @@ func runIngest(n int, opts Options) ([]IngestRow, error) {
 			"text":         func(w io.Writer) (stream.Stats, error) { return stream.Run(h, bytes.NewReader(text.Bytes()), w) },
 			"binary":       func(w io.Writer) (stream.Stats, error) { return stream.Run(h, bytes.NewReader(bin.Bytes()), w) },
 			"binary+cache": func(w io.Writer) (stream.Stats, error) { return stream.Run(hc, bytes.NewReader(bin.Bytes()), w) },
+			"pcap":         func(w io.Writer) (stream.Stats, error) { return stream.Run(h, bytes.NewReader(pcap.Bytes()), w) },
 		} {
 			var out bytes.Buffer
 			st, err := run(&out)
@@ -119,6 +146,13 @@ func runIngest(n int, opts Options) ([]IngestRow, error) {
 			}
 			if st.Packets != int64(len(trace)) {
 				return fmt.Errorf("%s %s: %d packets, want %d", when, name, st.Packets, len(trace))
+			}
+			wantSkip := int64(0)
+			if name == "pcap" {
+				wantSkip = pcapGarbage
+			}
+			if st.Skipped != wantSkip {
+				return fmt.Errorf("%s %s: %d skipped records, want %d", when, name, st.Skipped, wantSkip)
 			}
 			if !bytes.Equal(out.Bytes(), want) {
 				return fmt.Errorf("%s %s: result stream differs from ClassifyBatch oracle", when, name)
@@ -153,10 +187,10 @@ func runIngest(n int, opts Options) ([]IngestRow, error) {
 		return nil, err
 	}
 
-	measure := func(data []byte, hh *engine.Handle) (pps, allocsPerPkt float64, p50, p99 int64, err error) {
+	measure := func(data []byte, hh *engine.Handle) (row IngestRow, err error) {
 		// One warm pass, then timed passes over the same bytes.
 		if _, err := stream.Run(hh, bytes.NewReader(data), io.Discard); err != nil {
-			return 0, 0, 0, 0, err
+			return IngestRow{}, err
 		}
 		const minDur = 80 * time.Millisecond
 		var packets, allocs int64
@@ -166,30 +200,35 @@ func runIngest(n int, opts Options) ([]IngestRow, error) {
 			src.Reset(data)
 			st, err := stream.Run(hh, src, io.Discard)
 			if err != nil {
-				return 0, 0, 0, 0, err
+				return IngestRow{}, err
 			}
 			packets += st.Packets
 			allocs += st.Allocs
-			p50, p99 = st.BatchP50Ns, st.BatchP99Ns
+			row.BatchP50Ns, row.BatchP99Ns = st.BatchP50Ns, st.BatchP99Ns
+			row.Skipped = st.Skipped
 		}
 		dur := time.Since(start).Seconds()
-		return float64(packets) / dur, float64(allocs) / float64(packets), p50, p99, nil
+		row.PPS = float64(packets) / dur
+		row.AllocsPerPkt = float64(allocs) / float64(packets)
+		return row, nil
 	}
 
 	rows := []IngestRow{
 		{N: n, Format: "text", InputBytes: text.Len()},
 		{N: n, Format: "binary", InputBytes: bin.Len()},
 		{N: n, Format: "binary+cache", InputBytes: bin.Len()},
+		{N: n, Format: "pcap", InputBytes: pcap.Len()},
 	}
-	handles := []*engine.Handle{h, h, hc}
-	inputs := [][]byte{text.Bytes(), bin.Bytes(), bin.Bytes()}
+	handles := []*engine.Handle{h, h, hc, h}
+	inputs := [][]byte{text.Bytes(), bin.Bytes(), bin.Bytes(), pcap.Bytes()}
 	for i := range rows {
-		rows[i].Flows, rows[i].Burst = flows, burst
-		rows[i].PPS, rows[i].AllocsPerPkt, rows[i].BatchP50Ns, rows[i].BatchP99Ns, err =
-			measure(inputs[i], handles[i])
+		m, err := measure(inputs[i], handles[i])
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", rows[i].Format, err)
 		}
+		m.N, m.Format, m.InputBytes = rows[i].N, rows[i].Format, rows[i].InputBytes
+		m.Flows, m.Burst = flows, burst
+		rows[i] = m
 	}
 	for i := range rows {
 		rows[i].SpeedupX = rows[i].PPS / rows[0].PPS
@@ -197,11 +236,31 @@ func runIngest(n int, opts Options) ([]IngestRow, error) {
 	return rows, nil
 }
 
+// appendGarbagePcap appends n records the IPv4-over-Ethernet parser
+// must step over — alternating ARP-ethertype frames and runts, each
+// wrapped in a well-formed record header so the reader keeps framing.
+func appendGarbagePcap(buf *bytes.Buffer, n int) {
+	arp := make([]byte, 40)
+	arp[12], arp[13] = 0x08, 0x06 // ethertype ARP, not 0x0800
+	runt := []byte{0xde, 0xad, 0xbe, 0xef, 0x00}
+	for i := 0; i < n; i++ {
+		frame := arp
+		if i%2 == 1 {
+			frame = runt
+		}
+		var rh [16]byte
+		binary.LittleEndian.PutUint32(rh[8:12], uint32(len(frame)))  // incl_len
+		binary.LittleEndian.PutUint32(rh[12:16], uint32(len(frame))) // orig_len
+		buf.Write(rh[:])
+		buf.Write(frame)
+	}
+}
+
 // IngestTable renders the end-to-end ingest measurement.
 func IngestTable(rows []IngestRow) *Table {
 	t := &Table{
-		Title:  "End-to-end ingest (decode → classify → serialize), text vs binary framing",
-		Header: []string{"Rules", "Format", "Flows", "Input bytes", "pps", "allocs/pkt", "batch p50", "batch p99", "Speedup"},
+		Title:  "End-to-end ingest (decode → classify → serialize), text vs binary vs pcap framing",
+		Header: []string{"Rules", "Format", "Flows", "Input bytes", "pps", "allocs/pkt", "batch p50", "batch p99", "Skipped", "Speedup"},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
@@ -209,6 +268,7 @@ func IngestTable(rows []IngestRow) *Table {
 			f0(r.PPS), fmt.Sprintf("%.4f", r.AllocsPerPkt),
 			fmt.Sprintf("%.0fµs", float64(r.BatchP50Ns)/1e3),
 			fmt.Sprintf("%.0fµs", float64(r.BatchP99Ns)/1e3),
+			fmt.Sprintf("%d", r.Skipped),
 			fmt.Sprintf("%.2fx", r.SpeedupX),
 		})
 	}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"log"
 	"os"
 	"unsafe"
 
@@ -48,26 +49,46 @@ const (
 // nativeKernelOK records the one-time CPU-feature probe; defaultKern is
 // the kernel Compile stamps into new engines. Both are set at init and
 // changed only by SetDefaultKernel — never while classification runs.
+// kernelFallback records why an env override was NOT honored ("" when it
+// was, or no override was set): an unsatisfiable override (unknown name,
+// or a native kernel this CPU lacks) falls back to the probed default —
+// a trace replayed on a weaker machine should degrade, not crash — but
+// the degrade must be observable, so it is logged once here and surfaced
+// via KernelFallback for the facade to count and trace.
 var (
 	nativeKernelOK = detectNative()
-	defaultKern    = initialKern()
+	defaultKern, kernelFallback = resolveKern(os.Getenv(ScanKernelEnv))
+	_ = func() struct{} {
+		if kernelFallback != "" {
+			log.Printf("engine: %s", kernelFallback)
+		}
+		return struct{}{}
+	}()
 )
 
-func initialKern() uint8 {
+// resolveKern picks the process-default scan kernel: the probed best,
+// unless the env override names a satisfiable kernel. When the override
+// cannot be honored the second return value describes the degrade.
+func resolveKern(env string) (uint8, string) {
 	k := kernPortable
 	if nativeKernelOK {
 		k = kernNative
 	}
-	if env := os.Getenv(ScanKernelEnv); env != "" {
-		if ek, err := kernFromName(env); err == nil {
-			k = ek
-		}
-		// An unsatisfiable override (unknown name, or a native kernel
-		// this CPU lacks) falls back to the probed default: a trace
-		// replayed on a weaker machine should degrade, not crash.
+	if env == "" {
+		return k, ""
 	}
-	return k
+	ek, err := kernFromName(env)
+	if err != nil {
+		return k, fmt.Sprintf("%s=%q not satisfiable (%v); falling back to %q", ScanKernelEnv, env, err, kernName(k))
+	}
+	return ek, ""
 }
+
+// KernelFallback reports why the REPRO_SCAN_KERNEL override was ignored
+// at process start, or "" when it was honored (or unset). The facade
+// turns a non-empty value into a telemetry counter and flight-recorder
+// event so the silent-continue semantics stay observable.
+func KernelFallback() string { return kernelFallback }
 
 // kernFromName resolves a kernel name to a dispatch tag. "native"
 // selects the architecture's SIMD kernel when the CPU supports it.

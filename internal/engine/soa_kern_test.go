@@ -2,6 +2,8 @@ package engine
 
 import (
 	"math/rand"
+	"os"
+	"strings"
 	"sync"
 	"testing"
 
@@ -364,4 +366,51 @@ func FuzzScanKernels(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestResolveKernFallback pins the env-override degrade contract: an
+// unsatisfiable REPRO_SCAN_KERNEL keeps the silent-continue semantics
+// (the probed default is used, resolution never fails) but the degrade
+// is reported — resolveKern returns a non-empty reason, which init logs
+// once and KernelFallback exposes for the facade's telemetry.
+func TestResolveKernFallback(t *testing.T) {
+	probed := kernPortable
+	if nativeKernelOK {
+		probed = kernNative
+	}
+
+	if k, msg := resolveKern(""); k != probed || msg != "" {
+		t.Fatalf("resolveKern(\"\") = (%d, %q), want probed default %d with no fallback", k, msg, probed)
+	}
+	if k, msg := resolveKern(KernelPortable); k != kernPortable || msg != "" {
+		t.Fatalf("resolveKern(portable) = (%d, %q), want honored", k, msg)
+	}
+	k, msg := resolveKern("no-such-kernel")
+	if k != probed {
+		t.Fatalf("unknown override resolved to kernel %d, want probed default %d", k, probed)
+	}
+	if msg == "" {
+		t.Fatal("unknown override degraded silently: resolveKern returned no fallback reason")
+	}
+	for _, want := range []string{ScanKernelEnv, "no-such-kernel", kernName(probed)} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("fallback reason %q does not mention %q", msg, want)
+		}
+	}
+	if !nativeKernelOK {
+		// On a CPU/build without the SIMD kernel, "native" is the
+		// satisfiability (not spelling) flavor of the same degrade.
+		if k, msg := resolveKern("native"); k != kernPortable || msg == "" {
+			t.Fatalf("resolveKern(native) without SIMD = (%d, %q), want portable with a reason", k, msg)
+		}
+	}
+
+	// The process-level state agrees with a fresh resolution of the
+	// actual environment (both ran the same pure function).
+	wantK, wantMsg := resolveKern(os.Getenv(ScanKernelEnv))
+	if defaultKern != wantK && KernelFallback() != wantMsg {
+		// defaultKern may have been moved by SetDefaultKernel in other
+		// tests; the fallback record never changes after init.
+		t.Fatalf("KernelFallback() = %q, want %q", KernelFallback(), wantMsg)
+	}
 }

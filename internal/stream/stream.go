@@ -78,6 +78,14 @@ type Stats struct {
 	// serialization was the bottleneck). Both zero means the source was
 	// the bottleneck — the pipeline ran input-bound.
 	ReaderStalls, WriterStalls int64
+	// Skipped counts source records decoded but not deliverable as
+	// packets — for pcap captures, records that were not parseable
+	// IPv4-over-Ethernet (wire.PcapReader.Skipped): other link
+	// protocols, non-initial fragments, truncated frames. Always zero
+	// for the wire and text framings, and on abort paths where the
+	// decoder could not be safely observed (a stage goroutine may still
+	// hold it).
+	Skipped int64
 }
 
 // slot is one ring entry: reused input, result and per-core output
@@ -236,6 +244,9 @@ func Run(h *engine.Handle, r io.Reader, w io.Writer) (Stats, error) {
 			wrd.Reset(nil)
 			wireRdPool.Put(wrd)
 		case prd != nil:
+			// Capture before Reset zeroes it; safe==true proves the
+			// reader stage exited, so this read cannot race.
+			st.Skipped = prd.Skipped
 			prd.Reset(nil)
 			pcapRdPool.Put(prd)
 		case txt != nil:

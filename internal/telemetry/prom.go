@@ -30,6 +30,7 @@ var counterDefs = []metricDef{
 	{"repro_stream_batches_total", "counter", "Ingest pipeline batch dispatches."},
 	{"repro_stream_reader_stalls_total", "counter", "Decode-stage stalls waiting for a free pipeline slot."},
 	{"repro_stream_writer_stalls_total", "counter", "Classify-stage stalls waiting for the writer to drain."},
+	{"repro_scan_kernel_fallbacks_total", "counter", "Scan-kernel override requests that degraded to the probed default."},
 	{"repro_events_total", "counter", "Flight-recorder events ever recorded."},
 }
 
@@ -81,6 +82,7 @@ func (r *Recorder) WriteProm(w io.Writer) error {
 		&r.Epochs, &r.Deltas, &r.PatchFails, &r.Recompiles, &r.DegradTrips,
 		&r.CacheInv,
 		&r.StreamPackets, &r.StreamBatches, &r.ReaderStalls, &r.WriterStalls,
+		&r.KernelFallbacks,
 	}
 	for i, d := range counterDefs[:len(counters)] {
 		writeHeader(bw, d)

@@ -46,6 +46,10 @@ const (
 	// V1 = write cycles spent (words rewritten), V2 = 1 for a full
 	// re-encode, 0 for a word-level patch, V3 = 0.
 	EvDeviceWrite
+	// EvKernelFallback: a scan-kernel override (REPRO_SCAN_KERNEL or
+	// config) could not be satisfied and the process degraded to the
+	// probed default. V1 = V2 = V3 = 0; the reason is logged once.
+	EvKernelFallback
 )
 
 // String names the kind for exposition.
@@ -71,6 +75,8 @@ func (k EventKind) String() string {
 		return "patch_fail"
 	case EvDeviceWrite:
 		return "device_write"
+	case EvKernelFallback:
+		return "kernel_fallback"
 	}
 	return "unknown"
 }

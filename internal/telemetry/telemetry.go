@@ -246,6 +246,9 @@ type Recorder struct {
 	Recompiles  Counter // full rebuild/swap cycles completed
 	DegradTrips Counter // degradation-threshold trips (recompile triggers)
 
+	// Configuration degradations.
+	KernelFallbacks Counter // scan-kernel overrides that fell back to the probed default
+
 	// Stream (ingest pipeline).
 	StreamPackets Counter
 	StreamBatches Counter

@@ -185,7 +185,7 @@ func TestEventKindStrings(t *testing.T) {
 	kinds := []EventKind{
 		EvBuild, EvDeltaApply, EvPatchBatch, EvEpochPublish,
 		EvDegradationTrip, EvRecompileStart, EvRecompileDone,
-		EvCacheInvalidate, EvPatchFail, EvDeviceWrite,
+		EvCacheInvalidate, EvPatchFail, EvDeviceWrite, EvKernelFallback,
 	}
 	seen := map[string]bool{}
 	for _, k := range kinds {

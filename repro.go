@@ -28,6 +28,7 @@ package repro
 import (
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -141,6 +142,21 @@ type Config struct {
 	// REPRO_SCAN_KERNEL environment variable sets the same default at
 	// process start. See DESIGN.md §10.
 	ScanKernel string
+	// RestorePath, when non-empty, boots the accelerator from a
+	// serialized engine image (Accelerator.SaveImage) instead of waiting
+	// for a build: the image is validated (checksums, version, every
+	// structural invariant) and published as a serving epoch immediately
+	// — orders of magnitude faster than compiling rs — while the
+	// control-plane tree is rebuilt from rs in the background. Updates
+	// and the hardware-model paths wait for that rebuild; software
+	// classification (ClassifyBatch, ClassifyStream) serves from the
+	// restored image throughout. The simulated device memory is
+	// re-derived lazily on first hardware-path use, exactly as after a
+	// recompile. rs must be the ruleset the image reflects (including
+	// any churn since its build); restore fails closed with a typed
+	// error on a corrupt, truncated or version-skewed image. See
+	// DESIGN.md §13.
+	RestorePath string
 	// TelemetryAddr, when non-empty, serves the accelerator's telemetry
 	// plane over HTTP on that host:port (":0" picks a free port — read
 	// it back with Accelerator.TelemetryAddr): Prometheus text-format
@@ -210,6 +226,20 @@ type Accelerator struct {
 	maint       sync.WaitGroup // in-flight background recompiles
 	recompiling atomic.Bool
 
+	// treeReady is closed once the control-plane tree is installed — or
+	// its background rebuild failed, see treeErr (both under mu). It is
+	// nil except on a restored accelerator (Config.RestorePath), where
+	// waitTree gates every path that needs the tree.
+	treeReady chan struct{}
+	treeErr   error
+
+	// closed (under mu) stops new background maintenance once Close has
+	// begun; closeOnce/closeErr make Close idempotent and safe to race
+	// with itself.
+	closed    bool
+	closeOnce sync.Once
+	closeErr  error
+
 	// tel is the always-on telemetry plane: every classification and
 	// control-plane layer emits into it, and Telemetry() snapshots it.
 	// telSrv is the optional HTTP exposition (Config.TelemetryAddr).
@@ -217,9 +247,8 @@ type Accelerator struct {
 	telSrv *telemetry.Server
 }
 
-// BuildAccelerator constructs the modified decision tree for rs, encodes
-// it into 4800-bit memory words, and loads it into a simulated device.
-func BuildAccelerator(rs RuleSet, cfg Config) (*Accelerator, error) {
+// coreConfig maps the facade Config onto the tree builder's knobs.
+func coreConfig(cfg Config) core.Config {
 	ccfg := core.DefaultConfig(cfg.Algorithm)
 	if cfg.Binth > 0 {
 		ccfg.Binth = cfg.Binth
@@ -231,10 +260,61 @@ func BuildAccelerator(rs RuleSet, cfg Config) (*Accelerator, error) {
 	if cfg.CompactLeaves {
 		ccfg.Speed = 0
 	}
+	return ccfg
+}
+
+func (cfg Config) device() hwsim.Device {
+	if cfg.Target == TargetFPGA {
+		return hwsim.FPGA
+	}
+	return hwsim.ASIC
+}
+
+func (cfg Config) recompileThreshold() float64 {
+	if cfg.RecompileThreshold == 0 {
+		return DefaultRecompileThreshold
+	}
+	return cfg.RecompileThreshold
+}
+
+// initTelemetry wires the always-on telemetry plane (and the optional
+// HTTP exposition) into a freshly constructed accelerator. The
+// once-per-process scan-kernel fallback (an unsatisfiable
+// REPRO_SCAN_KERNEL override that silently degraded to the probed
+// default) becomes countable here: one counter tick and one
+// flight-recorder event per accelerator, so dashboards see the degrade
+// even though classification continued.
+func (a *Accelerator) initTelemetry(addr string) error {
+	a.tel = telemetry.New()
+	a.handle.SetTelemetry(a.tel)
+	if msg := engine.KernelFallback(); msg != "" {
+		a.tel.KernelFallbacks.Inc()
+		a.tel.Events.Record(telemetry.EvKernelFallback, 0, 0, 0, 0)
+	}
+	a.tel.RegisterCollector(a.collectScrape)
+	if addr != "" {
+		srv, err := telemetry.Serve(addr, a.tel)
+		if err != nil {
+			return fmt.Errorf("repro: telemetry listener: %w", err)
+		}
+		a.telSrv = srv
+	}
+	return nil
+}
+
+// BuildAccelerator constructs the modified decision tree for rs, encodes
+// it into 4800-bit memory words, and loads it into a simulated device.
+// With Config.RestorePath set it instead restores a serialized engine
+// image and serves immediately while the tree rebuilds in the background.
+func BuildAccelerator(rs RuleSet, cfg Config) (*Accelerator, error) {
 	if cfg.ScanKernel != "" {
 		if err := engine.SetDefaultKernel(cfg.ScanKernel); err != nil {
 			return nil, err
 		}
+	}
+	ccfg := coreConfig(cfg)
+	if cfg.RestorePath != "" {
+		return restoreAccelerator(rs, cfg, ccfg)
 	}
 	tree, err := core.Build(rs, ccfg)
 	if err != nil {
@@ -244,42 +324,109 @@ func BuildAccelerator(rs RuleSet, cfg Config) (*Accelerator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repro: structure built (%d words) but not encodable: %w", tree.Words(), err)
 	}
-	dev := hwsim.ASIC
-	if cfg.Target == TargetFPGA {
-		dev = hwsim.FPGA
-	}
+	dev := cfg.device()
 	sim, err := hwsim.New(img, dev)
 	if err != nil {
 		return nil, err
-	}
-	threshold := cfg.RecompileThreshold
-	if threshold == 0 {
-		threshold = DefaultRecompileThreshold
 	}
 	a := &Accelerator{
 		tree:      tree,
 		sim:       sim,
 		dev:       dev,
 		handle:    engine.NewHandle(engine.Compile(tree)),
-		threshold: threshold,
+		threshold: cfg.recompileThreshold(),
 	}
 	if cfg.CacheSize > 0 {
 		a.handle.EnableCache(cfg.CacheSize)
 	}
-	a.tel = telemetry.New()
-	a.handle.SetTelemetry(a.tel)
+	if err := a.initTelemetry(cfg.TelemetryAddr); err != nil {
+		return nil, err
+	}
 	a.tel.BuildNs.Observe(tree.BuildNanos())
 	a.tel.Events.Record(telemetry.EvBuild, 0,
 		tree.BuildNanos(), int64(len(rs)), int64(tree.Words()))
-	a.tel.RegisterCollector(a.collectScrape)
-	if cfg.TelemetryAddr != "" {
-		srv, err := telemetry.Serve(cfg.TelemetryAddr, a.tel)
-		if err != nil {
-			return nil, fmt.Errorf("repro: telemetry listener: %w", err)
-		}
-		a.telSrv = srv
-	}
 	return a, nil
+}
+
+// restoreAccelerator boots from a serialized engine image: the restored
+// engine is validated and published before this returns — a serving
+// epoch in microseconds instead of a build — while the control-plane
+// tree, which the image deliberately does not carry, is rebuilt from rs
+// as background maintenance. Once ready, the tree's compiled layout is
+// reconciled against what is serving: if the snapshot carried post-build
+// churn the layouts differ, and the compiled engine is swapped in as the
+// next epoch so subsequent delta patches address the layout they are
+// derived from. Readers never stall either way. The simulated device
+// memory is re-derived lazily on first hardware-path use, exactly as
+// after a recompile.
+func restoreAccelerator(rs RuleSet, cfg Config, ccfg core.Config) (*Accelerator, error) {
+	data, err := os.ReadFile(cfg.RestorePath)
+	if err != nil {
+		return nil, fmt.Errorf("repro: restore image: %w", err)
+	}
+	h, err := engine.RestoreBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("repro: restore image %s: %w", cfg.RestorePath, err)
+	}
+	a := &Accelerator{
+		dev:       cfg.device(),
+		handle:    h,
+		threshold: cfg.recompileThreshold(),
+		simFull:   true, // full re-encode on first hardware-path use
+		treeReady: make(chan struct{}),
+	}
+	if cfg.CacheSize > 0 {
+		a.handle.EnableCache(cfg.CacheSize)
+	}
+	if err := a.initTelemetry(cfg.TelemetryAddr); err != nil {
+		return nil, err
+	}
+	a.maint.Add(1)
+	go func() {
+		defer a.maint.Done()
+		tree, err := core.Build(rs, ccfg)
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		defer close(a.treeReady)
+		if err != nil {
+			a.treeErr = fmt.Errorf("repro: control-plane rebuild after restore: %w", err)
+			return
+		}
+		restored := a.handle.Current().Engine()
+		if compiled := engine.Compile(tree); !restored.LayoutEqual(compiled) {
+			a.handle.Swap(compiled)
+		}
+		a.tree = tree
+		a.tel.BuildNs.Observe(tree.BuildNanos())
+		a.tel.Events.Record(telemetry.EvBuild, a.handle.Current().Epoch(),
+			tree.BuildNanos(), int64(len(rs)), int64(tree.Words()))
+	}()
+	return a, nil
+}
+
+// waitTree blocks until the control-plane tree is available: instant
+// except on a restored accelerator whose background rebuild is still
+// running. It returns the rebuild's error if that failed — the tree-path
+// methods then degrade to the restored engine where they can.
+func (a *Accelerator) waitTree() error {
+	if a.treeReady != nil {
+		<-a.treeReady
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.treeErr
+}
+
+// SaveImage serializes the current epoch's engine — the flat arenas, the
+// SoA comparator mirrors and the kernel-independent metadata — into the
+// versioned, checksummed image format of internal/image, written to w.
+// The blob is everything BuildAccelerator needs, via Config.RestorePath,
+// to publish a serving epoch without rebuilding (see DESIGN.md §13); a
+// restored replica then catches up by replaying the same delta stream
+// through the normal update path. SaveImage captures one epoch snapshot;
+// concurrent updates land in later epochs and do not tear it.
+func (a *Accelerator) SaveImage(w io.Writer) (int64, error) {
+	return a.handle.Current().Engine().Snapshot(w)
 }
 
 // collectScrape contributes the scrape-time /metrics samples whose live
@@ -296,14 +443,23 @@ func (a *Accelerator) collectScrape(emit func(name string, value float64)) {
 		emit("repro_cache_inserts_total", float64(st.Inserts))
 		emit("repro_cache_live_entries", float64(st.Occupied))
 	}
+	// A scrape must never block on the restore-path tree rebuild: skip
+	// the tree samples until the tree exists.
 	a.mu.Lock()
-	deg := a.tree.Degradation()
-	orphans := a.tree.Orphans()
-	words := a.tree.Words()
+	var deg float64
+	var orphans, words int
+	if a.tree != nil {
+		deg = a.tree.Degradation()
+		orphans = a.tree.Orphans()
+		words = a.tree.Words()
+	}
+	hasTree := a.tree != nil
 	a.mu.Unlock()
-	emit("repro_tree_degradation", deg)
-	emit("repro_tree_orphan_leaves", float64(orphans))
-	emit("repro_tree_words", float64(words))
+	if hasTree {
+		emit("repro_tree_degradation", deg)
+		emit("repro_tree_orphan_leaves", float64(orphans))
+		emit("repro_tree_words", float64(words))
+	}
 }
 
 // Classify returns the highest-priority matching rule ID for p, or -1,
@@ -334,9 +490,13 @@ func (a *Accelerator) Classify(p Packet) int {
 // tree cannot change, so the current epoch is exactly the state this
 // answer is computed from — safe to stamp a cache entry with.
 func (a *Accelerator) classifyLocked(p Packet) (int, uint64) {
+	a.waitTree()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	epoch := a.handle.Current().Epoch()
+	if a.tree == nil { // restore's background rebuild failed
+		return a.handle.Current().Engine().Classify(p), epoch
+	}
 	if a.ensureSimLocked() != nil {
 		return a.tree.Classify(p), epoch
 	}
@@ -370,8 +530,12 @@ type CacheStats = flowcache.Stats
 // cycles and memory reads. When the device image is unloadable (see
 // LoadError) the analytical Eq. 5/7 walk supplies the cycle counts.
 func (a *Accelerator) ClassifyDetailed(p Packet) (match, latencyCycles, memReads int) {
+	a.waitTree()
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.tree == nil {
+		return a.handle.Current().Engine().Classify(p), 0, 0
+	}
 	if a.ensureSimLocked() != nil {
 		pi := a.tree.Walk(p)
 		return pi.Match, pi.Cycles(), pi.Cycles() - 1
@@ -391,8 +555,24 @@ type Stats = hwsim.Stats
 // tree and the statistics from the analytical Eq. 5/7 walk — the same
 // quantities the simulator is property-tested against.
 func (a *Accelerator) Run(trace []Packet) ([]int, Stats) {
+	a.waitTree()
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.tree == nil {
+		// Restore's background rebuild failed: matches still come from
+		// the restored engine; cycle/energy figures need the tree.
+		e := a.handle.Current().Engine()
+		matches := make([]int, len(trace))
+		var st Stats
+		for i, p := range trace {
+			matches[i] = e.Classify(p)
+			st.Packets++
+			if matches[i] >= 0 {
+				st.Matched++
+			}
+		}
+		return matches, st
+	}
 	if a.ensureSimLocked() != nil {
 		return a.runAnalyticLocked(trace)
 	}
@@ -431,30 +611,46 @@ func (a *Accelerator) runAnalyticLocked(trace []Packet) ([]int, Stats) {
 
 // MemoryBytes is the search-structure size (words x 600 bytes).
 func (a *Accelerator) MemoryBytes() int {
+	a.waitTree()
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.tree == nil {
+		return 0
+	}
 	return a.tree.MemoryBytes()
 }
 
 // Words is the number of 4800-bit memory words used (device holds 1024).
 func (a *Accelerator) Words() int {
+	a.waitTree()
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.tree == nil {
+		return 0
+	}
 	return a.tree.Words()
 }
 
 // WorstCaseCycles is the guaranteed per-packet bound (Tables 4 and 8).
 func (a *Accelerator) WorstCaseCycles() int {
+	a.waitTree()
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.tree == nil {
+		return 0
+	}
 	return a.tree.WorstCaseCycles()
 }
 
 // GuaranteedPPS is the worst-case sustained throughput: the pipeline
 // overlap hides one cycle (paper §4).
 func (a *Accelerator) GuaranteedPPS() float64 {
+	a.waitTree()
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.tree == nil {
+		return 0
+	}
 	return hwsim.WorstCaseThroughputPPS(a.dev, a.tree.WorstCaseCycles())
 }
 
@@ -470,6 +666,9 @@ func (a *Accelerator) DeviceName() string { return a.dev.Name }
 // word through the write interface, charging only the dirty words. Safe
 // for concurrent use; updates serialize against each other.
 func (a *Accelerator) Insert(r Rule) error {
+	if err := a.waitTree(); err != nil {
+		return err
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	d, err := a.tree.InsertDelta(r)
@@ -481,6 +680,9 @@ func (a *Accelerator) Insert(r Rule) error {
 
 // Delete removes a rule by ID; see Insert for the update path.
 func (a *Accelerator) Delete(id int) error {
+	if err := a.waitTree(); err != nil {
+		return err
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	d, err := a.tree.DeleteDelta(id)
@@ -499,6 +701,9 @@ func (a *Accelerator) Delete(id int) error {
 // error the already-absorbed prefix is still published (exactly, never
 // lost) and the error reports the failing rule.
 func (a *Accelerator) InsertBatch(rules []Rule) error {
+	if err := a.waitTree(); err != nil {
+		return err
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	ds := make([]*core.Delta, 0, len(rules))
@@ -518,6 +723,9 @@ func (a *Accelerator) InsertBatch(rules []Rule) error {
 // DeleteBatch removes a burst of rules by ID as one epoch; see
 // InsertBatch for the coalescing semantics.
 func (a *Accelerator) DeleteBatch(ids []int) error {
+	if err := a.waitTree(); err != nil {
+		return err
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	ds := make([]*core.Delta, 0, len(ids))
@@ -598,8 +806,12 @@ func (a *Accelerator) PatchError() error {
 // the auto-recompile trigger compares against Config.RecompileThreshold;
 // surface it in dashboards to watch update churn.
 func (a *Accelerator) Degradation() float64 {
+	a.waitTree()
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.tree == nil {
+		return 0
+	}
 	return a.tree.Degradation()
 }
 
@@ -663,8 +875,12 @@ type TelemetrySnapshot struct {
 func (a *Accelerator) Telemetry() TelemetrySnapshot {
 	t := a.tel
 	a.mu.Lock()
-	deg := a.tree.Degradation()
-	orphans := a.tree.Orphans()
+	var deg float64
+	var orphans int
+	if a.tree != nil { // nil while a restore's tree rebuild runs
+		deg = a.tree.Degradation()
+		orphans = a.tree.Orphans()
+	}
 	a.mu.Unlock()
 	s := TelemetrySnapshot{
 		Epoch:              a.handle.Current().Epoch(),
@@ -707,16 +923,26 @@ func (a *Accelerator) TelemetryAddr() string {
 	return a.telSrv.Addr()
 }
 
-// Close waits for in-flight background recompiles and shuts down the
-// telemetry HTTP server if Config.TelemetryAddr started one. The
-// accelerator itself needs no teardown; classifying after Close is still
-// valid (only the HTTP exposition is gone).
+// Close waits for in-flight background maintenance (recompiles, a
+// restore's tree rebuild) and shuts down the telemetry HTTP server if
+// Config.TelemetryAddr started one. It is idempotent and safe to call
+// concurrently — with itself, with classification, and with a telemetry
+// scrape; every call returns the first call's result. The accelerator
+// itself needs no teardown; classifying after Close is still valid (only
+// the HTTP exposition is gone).
 func (a *Accelerator) Close() error {
-	a.maint.Wait()
-	if a.telSrv != nil {
-		return a.telSrv.Close()
-	}
-	return nil
+	a.closeOnce.Do(func() {
+		// Refuse new background recompiles first (under mu), so maint
+		// cannot grow from zero concurrently with the Wait below.
+		a.mu.Lock()
+		a.closed = true
+		a.mu.Unlock()
+		a.maint.Wait()
+		if a.telSrv != nil {
+			a.closeErr = a.telSrv.Close()
+		}
+	})
+	return a.closeErr
 }
 
 // LoadError reports whether the last lazy device-memory rewrite failed —
@@ -726,6 +952,7 @@ func (a *Accelerator) Close() error {
 // explicit Recompile) clears the condition if the compacted structure
 // fits again.
 func (a *Accelerator) LoadError() error {
+	a.waitTree()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.ensureSimLocked()
@@ -738,7 +965,7 @@ func (a *Accelerator) LoadError() error {
 // could reclaim (degFloor — overgrown leaves survive Relayout; only a
 // fresh BuildAccelerator re-cuts them).
 func (a *Accelerator) maybeRecompileLocked() {
-	if a.threshold < 0 {
+	if a.threshold < 0 || a.closed {
 		return
 	}
 	if a.tree.Degradation() < a.degFloor+a.threshold &&
@@ -768,12 +995,16 @@ func (a *Accelerator) maybeRecompileLocked() {
 // rebuild wait for it (the control plane serializes; the data plane does
 // not).
 func (a *Accelerator) Recompile() {
+	a.waitTree()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.recompileLocked()
 }
 
 func (a *Accelerator) recompileLocked() {
+	if a.tree == nil {
+		return
+	}
 	start := time.Now()
 	a.tel.Events.Record(telemetry.EvRecompileStart, a.handle.Current().Epoch(),
 		int64(a.tree.Degradation()*1e6), int64(a.tree.Orphans()), 0)
@@ -808,6 +1039,12 @@ func (a *Accelerator) WaitMaintenance() { a.maint.Wait() }
 // survive a Relayout), after a failed patch (capacity or an unencodable
 // rule), or while recovering from an earlier load error.
 func (a *Accelerator) ensureSimLocked() error {
+	if a.tree == nil { // restore's background rebuild failed
+		if a.treeErr != nil {
+			return a.treeErr
+		}
+		return fmt.Errorf("repro: control-plane tree unavailable")
+	}
 	if !a.simFull && len(a.simPending) == 0 {
 		return a.simErr
 	}
@@ -853,6 +1090,7 @@ func (a *Accelerator) ensureSimLocked() error {
 // last hardware-path use may still be queued; this flushes them first,
 // so the figure reflects every applied update.
 func (a *Accelerator) DeviceWriteCycles() int64 {
+	a.waitTree()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.ensureSimLocked()

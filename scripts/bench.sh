@@ -8,7 +8,8 @@
 #
 # Besides the raw `go test -bench` output on stdout, a machine-readable
 # BENCH_<date>.json (one {name, ns_op, b_op, allocs_op, mb_s, pps,
-# allocs_pkt, hitrate, occupied, stale, dirtywords, imgwords} object per
+# allocs_pkt, hitrate, occupied, stale, dirtywords, imgwords,
+# image_bytes, build_ns, speedup} object per
 # benchmark row — the flow-cache rows report cached-vs-uncached pps and
 # the cache's hit rate, occupancy and stale-eviction counters; the
 # PatchUpdate/PatchWords rows at 1k and 10k rules record the
@@ -27,7 +28,11 @@
 # stream pipeline's own histogram, and FrameDecode/FrameEncode/PcapDecode
 # pin the raw zero-copy codec rates; the TelemetryOverhead/{off,on} rows
 # additionally synthesize one telemetry_overhead row recording the
-# instrumented-vs-uninstrumented pps ratio, which must stay >= 0.98) is
+# instrumented-vs-uninstrumented pps ratio, which must stay >= 0.98;
+# the ColdStart/acl1/n=N rows record the engine-image restart claim:
+# ns_op is the image-restore latency, with build_ns (one-time
+# core.Build + Compile cost), image_bytes and speedup alongside —
+# speedup at n=10000 must stay >= 100) is
 # written so the perf trajectory is trackable across PRs without parsing
 # text tables.
 #
@@ -40,7 +45,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-Classify|Build|Compile|Patch|LeafScan|Ingest|Frame|Pcap|StoreRuleSlot|TelemetryOverhead}"
+BENCH="${BENCH:-Classify|Build|Compile|Patch|LeafScan|Ingest|Frame|Pcap|StoreRuleSlot|TelemetryOverhead|ColdStart}"
 COUNT="${COUNT:-10}"
 TIME="${TIME:-0.5s}"
 JSON="${JSON:-BENCH_$(date +%F).json}"
@@ -51,7 +56,7 @@ trap 'rm -f "$RAW"' EXIT
 go test -run='^$' -bench="$BENCH" -benchmem -count="$COUNT" \
   -benchtime="$TIME" \
   ./internal/engine/ ./internal/hwsim/ ./internal/wire/ \
-  ./internal/stream/ ./internal/core/ | tee "$RAW"
+  ./internal/stream/ ./internal/core/ ./internal/bench/ | tee "$RAW"
 
 # Parse `BenchmarkName-P  N  X ns/op [Y MB/s] [Z B/op  W allocs/op] ...`
 # rows into a JSON array. Pure awk: no jq dependency in the container.
@@ -60,6 +65,7 @@ awk '
     name = $1; ns = ""; bop = ""; allocs = ""; mbs = "";
     pps = ""; allocspkt = ""; hitrate = ""; occupied = ""; stale = "";
     dirtywords = ""; imgwords = ""; kern = ""; p50 = ""; p99 = "";
+    imgbytes = ""; buildns = ""; speedup = "";
     if (match(name, /kernel=[a-zA-Z0-9]+/)) kern = substr(name, RSTART+7, RLENGTH-7);
     for (i = 2; i <= NF; i++) {
       if ($i == "ns/op")      ns         = $(i-1);
@@ -75,6 +81,9 @@ awk '
       if ($i == "imgwords")   imgwords   = $(i-1);
       if ($i == "p50_ns")     p50        = $(i-1);
       if ($i == "p99_ns")     p99        = $(i-1);
+      if ($i == "image_bytes") imgbytes  = $(i-1);
+      if ($i == "build_ns")   buildns    = $(i-1);
+      if ($i == "speedup")    speedup    = $(i-1);
     }
     # Track the last-seen TelemetryOverhead pps pair for the synthetic
     # overhead row emitted at END.
@@ -95,6 +104,9 @@ awk '
     if (kern       != "") row = row sprintf(",\"kernel\":\"%s\"", kern);
     if (p50        != "") row = row sprintf(",\"p50_ns\":%s", p50);
     if (p99        != "") row = row sprintf(",\"p99_ns\":%s", p99);
+    if (imgbytes   != "") row = row sprintf(",\"image_bytes\":%s", imgbytes);
+    if (buildns    != "") row = row sprintf(",\"build_ns\":%s", buildns);
+    if (speedup    != "") row = row sprintf(",\"speedup\":%s", speedup);
     row = row "}";
     rows[nrows++] = row;
   }
