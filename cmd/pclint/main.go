@@ -1,0 +1,68 @@
+// pclint is the repo's invariant checker: the internal/lint analyzer
+// suite (hotpath, atomicmix, arenaappend, unsafealias, metricdefs,
+// reproallow) plus the stock asmdecl pass for the SIMD shims, packaged
+// as a vet tool.
+//
+// Two ways to run it:
+//
+//	go vet -vettool=$(which pclint) ./...
+//	pclint ./...
+//
+// The second form simply re-execs `go vet -vettool=<self>` with the
+// given package patterns, so facts flow across packages through the
+// go command's unit-checking protocol exactly as they would under vet.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/asmdecl"
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	if isVetProtocol(os.Args[1:]) {
+		suite := append([]*analysis.Analyzer{}, lint.Analyzers()...)
+		suite = append(suite, asmdecl.Analyzer)
+		unitchecker.Main(suite...) // never returns
+	}
+
+	// Human-invoked form: delegate to `go vet` with ourselves as the
+	// vettool so the driver handles package loading, dependency facts
+	// and caching.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pclint: cannot locate own binary: %v\n", err)
+		os.Exit(2)
+	}
+	args := append([]string{"vet", "-vettool=" + self}, os.Args[1:]...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "pclint: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// isVetProtocol reports whether the go command is driving us through
+// the unitchecker protocol: `pclint -V=full`, `pclint -flags`, or
+// `pclint path/to/unit.cfg`.
+func isVetProtocol(args []string) bool {
+	for _, a := range args {
+		if a == "-flags" || strings.HasPrefix(a, "-V") || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

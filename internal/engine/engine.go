@@ -118,16 +118,24 @@ type flatRule struct {
 // atomic, epoch-versioned pointer for lock-free readers.
 type Engine struct {
 	nodes []node
-	cuts  []cut
-	kids  []int32
+	// cuts / kids / ruleIDs / rules are published COW arenas: append-only
+	// after publish, shared between snapshots. Only //repro:arena-writer
+	// functions (Compile, the Patch chain, image restore, blessed test
+	// fixtures) may mutate them; arenaappend enforces this at vet time.
+	//repro:arena
+	cuts []cut
+	//repro:arena
+	kids []int32
 	// leaves is the chunked leaf table: entry i lives at
 	// leaves[i>>leafChunkBits][i&leafChunkMask]. Chunks are immutable
 	// once published; Patch copies only the chunks it edits and shares
 	// the rest with the previous snapshot.
 	leaves    [][]leafRef
 	numLeaves int
-	ruleIDs   []int32
-	rules     []flatRule
+	//repro:arena
+	ruleIDs []int32
+	//repro:arena
+	rules []flatRule
 	// soa holds the leaf windows' rule bounds as per-dimension arenas in
 	// ruleIDs order — the software comparator bank the leaf scan sweeps
 	// (see soa.go). Like ruleIDs it is an append-only arena: Patch
@@ -159,6 +167,8 @@ type Engine struct {
 // numbering of internal nodes, first-encounter order of deduplicated
 // leaves) carries over verbatim, so the engine is a software rendering of
 // the exact memory image the accelerator would load.
+//
+//repro:arena-writer builds the initial arenas before the engine is published
 func Compile(t *core.Tree) *Engine {
 	internals := t.Internals()
 	leafNodes := t.Leaves()
@@ -259,6 +269,8 @@ func (e *Engine) leafAt(i int32) leafRef {
 // window's bounds, branch-free, with the first set mask bit as the match
 // — the software twin of the accelerator's 30 parallel comparators.
 // ClassifyAoS is the array-of-structs fallback kept for the ablation.
+//
+//repro:hotpath
 func (e *Engine) Classify(p rule.Packet) int {
 	f := [rule.NumDims]uint32{p.SrcIP, p.DstIP, uint32(p.SrcPort), uint32(p.DstPort), uint32(p.Proto)}
 	l := e.walk(&f)
@@ -281,6 +293,8 @@ func (e *Engine) Classify(p rule.Packet) int {
 // mask-bit (priority) order. Deep scans therefore cost ~one compare
 // per slot with no data-dependent branches, where the AoS loop pays a
 // mispredict per rule.
+//
+//repro:hotpath
 func (e *Engine) scanLeaf(l leafRef, f *[rule.NumDims]uint32) int {
 	peel := peelLen(e.kern, l.n)
 	for _, id := range e.ruleIDs[l.off : l.off+peel] {
@@ -390,6 +404,8 @@ func (e *Engine) walk(f *[rule.NumDims]uint32) leafRef {
 
 // ClassifyBatch classifies pkts[i] into out[i] for every i. It performs
 // zero heap allocations; out must be at least as long as pkts.
+//
+//repro:hotpath
 func (e *Engine) ClassifyBatch(pkts []rule.Packet, out []int32) {
 	_ = out[:len(pkts)] // bounds check once; panics if out is short
 	for i := range pkts {

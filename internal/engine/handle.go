@@ -99,6 +99,8 @@ func (h *Handle) Cache() *flowcache.Cache { return h.cache.Load() }
 // equal the snapshot's epoch, and any update bumps the epoch, so entries
 // that could have been invalidated never hit — they fall through to the
 // tree walk and repopulate.
+//
+//repro:hotpath
 func (h *Handle) ClassifyCached(p rule.Packet) int {
 	s := h.cur.Load()
 	c := h.cache.Load()
@@ -106,8 +108,10 @@ func (h *Handle) ClassifyCached(p rule.Packet) int {
 	// timed. The untimed calls pay one atomic add.
 	if tel := h.tel.Load(); tel != nil {
 		if tel.Singles.Next()&(classifySampleEvery-1) == 0 {
+			//repro:allow hotpath -- documented sampled site: one clock read per classifySampleEvery packets
 			start := time.Now()
 			rid := classifyCachedOne(s, c, p)
+			//repro:allow hotpath -- documented sampled site: paired clock read for the sampled latency observe
 			tel.ClassifyNs.Observe(int64(time.Since(start)))
 			return rid
 		}
@@ -135,6 +139,8 @@ func classifyCachedOne(s *Snapshot, c *flowcache.Cache, p rule.Packet) int {
 // cache, capturing one snapshot for the whole batch (updates land between
 // batches, never mid-batch). It allocates nothing; out must be at least
 // as long as pkts.
+//
+//repro:hotpath
 func (h *Handle) ClassifyBatchCached(pkts []rule.Packet, out []int32) {
 	s := h.cur.Load()
 	c := h.cache.Load()
@@ -149,12 +155,14 @@ func (h *Handle) ClassifyBatchCached(pkts []rule.Packet, out []int32) {
 	}
 	// Telemetry cost is per batch, never per packet: two monotonic
 	// clock reads, one histogram observe, two atomic adds.
+	//repro:allow hotpath -- documented per-batch site: one clock read per batch, not per packet
 	start := time.Now()
 	if c == nil {
 		s.eng.ClassifyBatch(pkts, out)
 	} else {
 		classifyCachedRange(s, c, pkts, out)
 	}
+	//repro:allow hotpath -- documented per-batch site: paired clock read for the batch latency observe
 	tel.ClassifyNs.Observe(int64(time.Since(start)))
 	tel.Packets.Add(uint64(len(pkts)))
 	tel.Batches.Inc()

@@ -77,12 +77,15 @@ var (
 // on-disk byte order, and therefore the alias-in-place fast path.
 var hostLE = func() bool {
 	var x uint16 = 1
+	//repro:allow unsafealias -- one-byte endianness probe of a local; package-level init cannot carry a shape annotation
 	return *(*byte)(unsafe.Pointer(&x)) == 1
 }()
 
 // podBytes returns the little-endian serialization of a slice whose
 // element type is a padding-free struct of 32-bit words (asserted
 // above). On little-endian hosts it aliases the slice's memory.
+//
+//repro:unsafe-shape aliases a pod []T as raw bytes; element types are asserted padding-free 32-bit-word structs
 func podBytes[T any](s []T) []byte {
 	size := int(unsafe.Sizeof(*new(T)))
 	if len(s) == 0 {
@@ -95,6 +98,7 @@ func podBytes[T any](s []T) []byte {
 	// Big-endian: fields are native-order 32-bit words in declaration
 	// order, so serializing each word little-endian is exactly the
 	// on-disk layout.
+	//repro:allow unsafealias -- p is the backing store of []T whose elements are 32-bit words: 4-byte aligned by the allocator
 	words := unsafe.Slice((*uint32)(p), len(s)*size/4)
 	out := make([]byte, len(words)*4)
 	for i, w := range words {
@@ -107,6 +111,8 @@ func podBytes[T any](s []T) []byte {
 // aliasing the section bytes in place on aligned little-endian hosts
 // and copying otherwise. The caller has validated len(data) is a
 // multiple of the element size.
+//
+//repro:unsafe-shape aliases section bytes as []T behind an explicit alignment guard; copies when misaligned
 func podSlice[T any](data []byte) []T {
 	size := int(unsafe.Sizeof(*new(T)))
 	n := len(data) / size
@@ -128,6 +134,8 @@ func podSlice[T any](data []byte) []T {
 // cutBytes / cutSlice handle the 3-byte cut entries, which are
 // endianness-free (three single-byte fields) and so alias both ways on
 // any host.
+//
+//repro:unsafe-shape aliases the 3-byte cut entries as raw bytes; cut has byte alignment
 func cutBytes(s []cut) []byte {
 	if len(s) == 0 {
 		return nil
@@ -135,6 +143,7 @@ func cutBytes(s []cut) []byte {
 	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), len(s)*3)
 }
 
+//repro:unsafe-shape aliases section bytes as []cut; cut has byte alignment so any offset is valid
 func cutSlice(data []byte) []cut {
 	n := len(data) / 3
 	if n == 0 {
@@ -156,6 +165,8 @@ const arenaPadLen = soaPadSlots * 4
 // slack. Unlike the other pools this always copies: the live arena's
 // own capacity slack holds garbage, and the image must be
 // deterministic, zero-padded bytes.
+//
+//repro:unsafe-shape reads an aligned live arena as bytes for the copy-out; never aliased into the image
 func arenaBytes(a []uint32) []byte {
 	out := make([]byte, len(a)*4+arenaPadLen)
 	if hostLE && len(a) > 0 {
@@ -174,6 +185,8 @@ func arenaBytes(a []uint32) []byte {
 // soaBank.pad() establishes, so pad() never reallocates a restored
 // bank. The caller has validated len(data) >= arenaPadLen and
 // 4-divisibility.
+//
+//repro:unsafe-shape aliases arena section bytes as []uint32 behind an explicit mod-4 guard; copies when misaligned
 func arenaSlice(data []byte) []uint32 {
 	n := (len(data) - arenaPadLen) / 4
 	if n > 0 && hostLE {
@@ -267,6 +280,7 @@ func RestoreBytes(b []byte) (*Handle, error) {
 	return NewHandle(e), nil
 }
 
+//repro:arena-writer installs restored arenas into a brand-new unpublished engine
 func restoreSections(secs []image.Section) (*Engine, error) {
 	byID := make(map[uint32][]byte, len(secs))
 	for _, s := range secs {

@@ -164,6 +164,8 @@ func (ne *Engine) appendLeaf(st *patchState, ref leafRef) {
 
 // applyOne replays a single delta into ne (the batch's under-construction
 // snapshot), copying shared segments on first touch.
+//
+//repro:arena-writer replays a delta into the under-construction snapshot; indexed writes land only in blocks relocated this batch
 func (ne *Engine) applyOne(d *core.Delta, st *patchState) error {
 	if d.RuleAppended {
 		if d.AppendedRule.ID != len(ne.rules) {

@@ -47,7 +47,11 @@ import (
 // epoch swap are untouched (readers of older snapshots never index past
 // their snapshot's length, and published slots are never rewritten).
 type soaBank struct {
+	// lo/hi are the published per-dimension comparator arenas (COW,
+	// append-only after publish; see Engine.cuts).
+	//repro:arena
 	lo [rule.NumDims][]uint32
+	//repro:arena
 	hi [rule.NumDims][]uint32
 	// order is the dimension sweep order, most selective first, computed
 	// from the ruleset's wildcard densities at Compile time — every
@@ -138,6 +142,8 @@ func defaultOrder() [rule.NumDims]uint8 {
 
 // appendRule appends one rule's bounds to the bank (slot order = call
 // order = ruleIDs pool order).
+//
+//repro:arena-writer appends one rule's bounds past the published length (COW append protocol)
 func (b *soaBank) appendRule(fr *flatRule) {
 	for d := 0; d < rule.NumDims; d++ {
 		b.lo[d] = append(b.lo[d], fr.lo[d])
@@ -148,6 +154,8 @@ func (b *soaBank) appendRule(fr *flatRule) {
 // appendWindow appends the bounds of each rule in ids, resolving them
 // through the rule table — the SoA mirror of appending ids to the
 // ruleIDs pool.
+//
+//repro:arena-writer appends a rewritten window past the published length (COW append protocol)
 func (b *soaBank) appendWindow(rules []flatRule, ids []int32) {
 	for _, id := range ids {
 		b.appendRule(&rules[id])
@@ -165,6 +173,9 @@ func (b *soaBank) slots() int { return len(b.lo[0]) }
 // snapshots; otherwise the reallocation copies it, which is safe for
 // the same reason Patch's copy-on-write is — prior snapshots keep their
 // own backing array.
+//
+//repro:unsafe-shape resolves arena base pointers once per publish; unsafe.SliceData preserves the slice's own alignment
+//repro:arena-writer re-establishes the SIMD over-read slack at publish; reallocation is COW-safe
 func (b *soaBank) pad() {
 	for d := 0; d < rule.NumDims; d++ {
 		b.lo[d] = padArena(b.lo[d])

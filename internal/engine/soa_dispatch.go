@@ -56,9 +56,9 @@ const (
 // the degrade must be observable, so it is logged once here and surfaced
 // via KernelFallback for the facade to count and trace.
 var (
-	nativeKernelOK = detectNative()
+	nativeKernelOK              = detectNative()
 	defaultKern, kernelFallback = resolveKern(os.Getenv(ScanKernelEnv))
-	_ = func() struct{} {
+	_                           = func() struct{} {
 		if kernelFallback != "" {
 			log.Printf("engine: %s", kernelFallback)
 		}
@@ -208,6 +208,9 @@ const (
 // carry soaPadSlots of over-read slack past their length (pad()), which
 // is what lets the kernels round block sweeps up to full vector lanes
 // instead of peeling tails.
+//
+//repro:unsafe-shape packs the kernel argument block from pre-resolved arena base pointers
+//repro:hotpath
 func (b *soaBank) scanSIMD(off, n int32, f *[rule.NumDims]uint32) int32 {
 	var a scanArgs
 	o := uintptr(off) * 4
@@ -216,7 +219,9 @@ func (b *soaBank) scanSIMD(off, n int32, f *[rule.NumDims]uint32) int32 {
 		// once per publish by pad(): a window scan is five pointer adds,
 		// not ten bounds-checked slice indexings. off < len ≤ cap keeps
 		// the arithmetic inside the backing arrays.
+		//repro:allow unsafealias -- alignment inherited from the arena base; the offset is slot*4, a multiple of the element size
 		a.lo[i] = (*uint32)(unsafe.Add(unsafe.Pointer(b.pLo[i]), o))
+		//repro:allow unsafealias -- alignment inherited from the arena base; the offset is slot*4, a multiple of the element size
 		a.hi[i] = (*uint32)(unsafe.Add(unsafe.Pointer(b.pHi[i]), o))
 		a.f[i] = f[b.order[i]]
 	}

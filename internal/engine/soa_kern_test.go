@@ -279,6 +279,8 @@ func edgeVal(a byte) uint32 {
 //	otherwise that byte is the lo seed and one more byte the span seed
 //	(saturating), both through edgeVal
 //	then 5 bytes: packet fields through edgeVal
+//
+//repro:arena-writer test fixture: builds a private bank that is never published to a snapshot
 func fuzzWindow(data []byte) (b *soaBank, off, n int32, f [rule.NumDims]uint32) {
 	pos := 0
 	next := func() byte {

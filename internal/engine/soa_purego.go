@@ -14,5 +14,6 @@ func detectNative() bool { return false }
 // scanWindowASM is unreachable in portable-only builds; the stub keeps
 // the dispatch layer architecture-independent.
 func scanWindowASM(a *scanArgs) int32 {
+	//repro:allow hotpath -- unreachable guard: kernFromName refuses "native" when nativeKernelName is empty
 	panic("engine: native scan kernel not available in this build")
 }

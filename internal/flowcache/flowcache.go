@@ -254,6 +254,8 @@ func (c *Cache) NoteLookups(hits, misses uint64) {
 // miss, so the caller's tree walk both serves the packet and frees the
 // slot for the repopulating Insert. The hit path takes no lock and
 // performs no read-modify-write; Probe allocates nothing.
+//
+//repro:hotpath
 func (c *Cache) Probe(p rule.Packet, epoch uint64) (int32, bool) {
 	k0, k1 := packKey(p)
 	return c.probeSet(c.setIndex(k0, k1), k0, k1, (epoch+1)<<ridBits)
@@ -310,6 +312,8 @@ const NoEntry int32 = -2
 // performs no read-modify-write on the hit path, allocates nothing, and
 // leaves hit/miss accounting to the caller (NoteLookups). out must be at
 // least as long as pkts.
+//
+//repro:hotpath
 func (c *Cache) ProbeBatch(pkts []rule.Packet, epoch uint64, out []int32) int {
 	_ = out[:len(pkts)]
 	ep1 := (epoch + 1) << ridBits
@@ -349,6 +353,8 @@ func (c *Cache) dropStale(sh *shard, e *entry, k0, k1, ep1 uint64) {
 // is overwritten in place; otherwise an empty or stale way is used, and
 // with the set full a round-robin victim is evicted. Rule IDs above
 // MaxRuleID are not cached. Insert allocates nothing.
+//
+//repro:hotpath
 func (c *Cache) Insert(p rule.Packet, epoch uint64, rid int32) {
 	if rid < -1 || int64(rid)+1 > ridMask {
 		return

@@ -1,0 +1,118 @@
+package lint
+
+// atomicmix guards the memory model: a struct field accessed through
+// address-style sync/atomic calls anywhere (atomic.LoadUint64(&s.f))
+// must never be read or written plainly elsewhere — a plain access to
+// an atomically-published word is a data race even when it "works"
+// (the seqlock words, epoch pointers and telemetry counters all used
+// to be this shape before the typed-atomic migration; the analyzer
+// keeps the door shut). Typed atomics (atomic.Uint64 et al.) are
+// immune by construction and need no checking. AtomicFields compose
+// across packages as object facts on the field variables.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// AtomicFact marks a struct field accessed through address-style
+// sync/atomic calls somewhere in the program.
+type AtomicFact struct{}
+
+func (*AtomicFact) AFact()         {}
+func (*AtomicFact) String() string { return "atomic" }
+
+var AtomicMixAnalyzer = &analysis.Analyzer{
+	Name:      "atomicmix",
+	Doc:       "fields accessed via sync/atomic must never be read or written plainly",
+	Run:       runAtomicMix,
+	FactTypes: []analysis.Fact{new(AtomicFact)},
+}
+
+func runAtomicMix(pass *analysis.Pass) (interface{}, error) {
+	idx := collectDirectives(pass)
+
+	// Pass 1: find &s.f arguments of sync/atomic calls; the selector
+	// nodes inside those arguments are sanctioned accesses.
+	atomicFields := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := typeutilCallee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if !isAtomicOpName(fn.Name()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op.String() != "&" {
+					continue
+				}
+				sel, ok := unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldObject(pass.TypesInfo, sel); v != nil {
+					atomicFields[v] = true
+					sanctioned[sel] = true
+					pass.ExportObjectFact(v, new(AtomicFact))
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every other access to one of those fields (declared here
+	// or in a dependency, via facts) is a race.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			v := fieldObject(pass.TypesInfo, sel)
+			if v == nil {
+				return true
+			}
+			if !atomicFields[v] && !pass.ImportObjectFact(v, new(AtomicFact)) {
+				return true
+			}
+			report(pass, idx, sel.Pos(),
+				"field %s is accessed with sync/atomic elsewhere; plain access is a data race (use the atomic API or a typed atomic)",
+				v.Name())
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isAtomicOpName(name string) bool {
+	for _, p := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "Or", "And"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldObject resolves a selector to the struct field it reads or
+// writes, or nil if it is not a field access.
+func fieldObject(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}

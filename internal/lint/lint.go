@@ -1,0 +1,205 @@
+// Package lint holds the pclint analyzers: custom go/analysis passes
+// that prove the engine's performance contracts — zero-alloc hot paths,
+// atomic access discipline, append-only COW arenas, blessed unsafe
+// shapes, and the telemetry registry's no-drift rule — statically, at
+// vet time, over the whole call graph. DESIGN.md §14 documents each
+// invariant; this file holds the shared directive vocabulary.
+//
+// Directives are magic comments (no space after //, like //go:):
+//
+//	//repro:hotpath
+//	    On a function: the function and everything it reaches must not
+//	    allocate. Checked by the hotpath analyzer.
+//	//repro:coldpath <why>
+//	    On a function: excluded from hot-path traversal even when
+//	    called from hot code (a slow/error exit). Justification is
+//	    mandatory.
+//	//repro:arena
+//	    On a struct field: the field is a published COW arena. Only
+//	    arena-writer functions may append to or index-assign it.
+//	//repro:arena-writer <why>
+//	    On a function: part of the whitelisted Compile/Patch publish
+//	    path; may mutate arena fields. Justification is mandatory.
+//	//repro:unsafe-shape <why>
+//	    On a function: a blessed unsafe.Pointer aliasing shape
+//	    (podSlice/arenaSlice/podBytes and kin). Justification is
+//	    mandatory.
+//	//repro:allow <analyzer> -- <why>
+//	    On (or on the line above) an offending line: suppress one
+//	    analyzer's diagnostic at that line. The justification after
+//	    "--" is mandatory and itself linted (reproallow analyzer).
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// AnalyzerNames are the valid targets of //repro:allow, in the order
+// they run.
+var AnalyzerNames = []string{
+	"hotpath", "atomicmix", "arenaappend", "unsafealias", "metricdefs", "reproallow",
+}
+
+// Analyzers returns the full pclint suite. asmdecl is appended by
+// cmd/pclint (it lives in x/tools, not here).
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		HotPathAnalyzer,
+		AtomicMixAnalyzer,
+		ArenaAppendAnalyzer,
+		UnsafeAliasAnalyzer,
+		MetricDefsAnalyzer,
+		ReproAllowAnalyzer,
+	}
+}
+
+const directivePrefix = "//repro:"
+
+// directive is one parsed //repro: comment.
+type directive struct {
+	pos  token.Pos
+	kind string // "hotpath", "coldpath", "arena", "arena-writer", "unsafe-shape", "allow"
+	// arg is the analyzer name for allow, empty otherwise.
+	arg string
+	// why is the mandatory justification (after "--" for allow; the
+	// whole remainder for coldpath/arena-writer/unsafe-shape).
+	why string
+}
+
+// parseDirective parses a single comment; ok is false if it is not a
+// //repro: directive at all.
+func parseDirective(c *ast.Comment) (d directive, ok bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, directivePrefix) {
+		return d, false
+	}
+	d.pos = c.Pos()
+	rest := strings.TrimPrefix(text, directivePrefix)
+	kind, tail, _ := strings.Cut(rest, " ")
+	d.kind = kind
+	tail = strings.TrimSpace(tail)
+	switch kind {
+	case "allow":
+		arg, why, found := strings.Cut(tail, "--")
+		d.arg = strings.TrimSpace(arg)
+		if found {
+			d.why = strings.TrimSpace(why)
+		}
+	default:
+		d.why = tail
+	}
+	return d, true
+}
+
+// directiveIndex holds every //repro: directive in a package, indexed
+// for the two lookups analyzers need: per-function annotations and
+// per-line allows.
+type directiveIndex struct {
+	fset *token.FileSet
+	// funcDir maps a function declaration to its directives (from the
+	// doc comment group).
+	funcDir map[*ast.FuncDecl][]directive
+	// fieldDir maps a struct field to its directives (doc or trailing
+	// line comment).
+	fieldDir map[*ast.Field][]directive
+	// allows maps file -> line -> analyzer names allowed on that line.
+	// An allow on line N suppresses diagnostics on lines N and N+1, so
+	// the directive can sit on its own line above the offending one.
+	allows map[string]map[int]map[string]bool
+	// all is every directive, for reproallow's own validation sweep.
+	all []directive
+}
+
+// collectDirectives scans all comments of the package under analysis.
+func collectDirectives(pass *analysis.Pass) *directiveIndex {
+	idx := &directiveIndex{
+		fset:     pass.Fset,
+		funcDir:  make(map[*ast.FuncDecl][]directive),
+		fieldDir: make(map[*ast.Field][]directive),
+		allows:   make(map[string]map[int]map[string]bool),
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				idx.all = append(idx.all, d)
+				if d.kind == "allow" && d.arg != "" {
+					p := pass.Fset.Position(c.Pos())
+					byLine := idx.allows[p.Filename]
+					if byLine == nil {
+						byLine = make(map[int]map[string]bool)
+						idx.allows[p.Filename] = byLine
+					}
+					set := byLine[p.Line]
+					if set == nil {
+						set = make(map[string]bool)
+						byLine[p.Line] = set
+					}
+					set[d.arg] = true
+				}
+			}
+		}
+		// Attach doc-comment directives to declarations and fields.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Doc != nil {
+					for _, c := range n.Doc.List {
+						if d, ok := parseDirective(c); ok {
+							idx.funcDir[n] = append(idx.funcDir[n], d)
+						}
+					}
+				}
+			case *ast.Field:
+				for _, cg := range []*ast.CommentGroup{n.Doc, n.Comment} {
+					if cg == nil {
+						continue
+					}
+					for _, c := range cg.List {
+						if d, ok := parseDirective(c); ok {
+							idx.fieldDir[n] = append(idx.fieldDir[n], d)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return idx
+}
+
+// funcHas reports whether fn carries a directive of the given kind.
+func (idx *directiveIndex) funcHas(fn *ast.FuncDecl, kind string) bool {
+	for _, d := range idx.funcDir[fn] {
+		if d.kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// allowed reports whether a diagnostic from the named analyzer at pos
+// is suppressed by a //repro:allow on the same line or the line above.
+func (idx *directiveIndex) allowed(name string, pos token.Pos) bool {
+	p := idx.fset.Position(pos)
+	byLine := idx.allows[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[p.Line][name] || byLine[p.Line-1][name]
+}
+
+// report emits a diagnostic unless an allow suppresses it.
+func report(pass *analysis.Pass, idx *directiveIndex, pos token.Pos, format string, args ...interface{}) {
+	if idx.allowed(pass.Analyzer.Name, pos) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}

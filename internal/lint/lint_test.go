@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer gets at least one true-positive and one deliberate
+// false-positive-avoidance case in its testdata package; weakening an
+// analyzer to a no-op fails the corresponding test because its want
+// expectations go unmatched.
+
+func TestHotPath(t *testing.T)     { linttest.Run(t, "hotpath", lint.HotPathAnalyzer) }
+func TestHotRoots(t *testing.T)    { linttest.Run(t, "hotroots", lint.HotPathAnalyzer) }
+func TestAtomicMix(t *testing.T)   { linttest.Run(t, "atomicmix", lint.AtomicMixAnalyzer) }
+func TestArenaAppend(t *testing.T) { linttest.Run(t, "arenaappend", lint.ArenaAppendAnalyzer) }
+func TestUnsafeAlias(t *testing.T) { linttest.Run(t, "unsafealias", lint.UnsafeAliasAnalyzer) }
+func TestMetricDefs(t *testing.T)  { linttest.Run(t, "metricdefs", lint.MetricDefsAnalyzer) }
+func TestReproAllow(t *testing.T)  { linttest.Run(t, "reproallow", lint.ReproAllowAnalyzer) }

@@ -1,0 +1,147 @@
+package lint
+
+// metricdefs pins the telemetry registry's no-drift contract (PR 8):
+// the Prometheus exposition pairs Recorder fields with the
+// counterDefs/gaugeDefs/histDefs tables *positionally*, so a metric
+// added to the struct but not the table (or vice versa) silently
+// shifts every name after it. The analyzer counts Recorder fields of
+// each metric kind against the def-table entries of that kind and
+// demands equality, and requires every metric field to be referenced
+// inside WriteProm (the exposition function) so a field can't exist
+// unscraped. Def entries that intentionally expose non-field state
+// (the event-ring counters) carry //repro:allow metricdefs -- <why>
+// and are excluded from the count. The analyzer is structural — it
+// activates only in a package that declares both a Recorder struct
+// and the def tables — so it is silent everywhere but
+// internal/telemetry and its own testdata.
+
+import (
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+var MetricDefsAnalyzer = &analysis.Analyzer{
+	Name: "metricdefs",
+	Doc:  "every telemetry Counter/Gauge/Hist field must appear in counterDefs/gaugeDefs/histDefs and WriteProm",
+	Run:  runMetricDefs,
+}
+
+var metricKinds = []struct {
+	typeName string // field type
+	defsName string // package-level def table
+}{
+	{"Counter", "counterDefs"},
+	{"Gauge", "gaugeDefs"},
+	{"Hist", "histDefs"},
+}
+
+func runMetricDefs(pass *analysis.Pass) (interface{}, error) {
+	idx := collectDirectives(pass)
+
+	// Locate the Recorder struct, the def tables, and WriteProm.
+	var recorder *ast.StructType
+	defs := make(map[string]*ast.CompositeLit)
+	var writeProm *ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.Name == "Recorder" {
+							if st, ok := s.Type.(*ast.StructType); ok {
+								recorder = st
+							}
+						}
+					case *ast.ValueSpec:
+						for i, name := range s.Names {
+							for _, k := range metricKinds {
+								if name.Name == k.defsName && i < len(s.Values) {
+									if cl, ok := s.Values[i].(*ast.CompositeLit); ok {
+										defs[k.defsName] = cl
+									}
+								}
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Name.Name == "WriteProm" {
+					writeProm = d
+				}
+			}
+		}
+	}
+	if recorder == nil || len(defs) == 0 {
+		return nil, nil // not the telemetry package
+	}
+
+	// Count Recorder fields per metric kind.
+	fieldsByKind := make(map[string][]*ast.Ident)
+	for _, field := range recorder.Fields.List {
+		t := field.Type
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+		}
+		var typeName string
+		switch t := t.(type) {
+		case *ast.Ident:
+			typeName = t.Name
+		case *ast.SelectorExpr:
+			typeName = t.Sel.Name
+		}
+		for _, k := range metricKinds {
+			if typeName == k.typeName {
+				fieldsByKind[k.typeName] = append(fieldsByKind[k.typeName], field.Names...)
+			}
+		}
+	}
+
+	// Selector/ident names referenced inside WriteProm.
+	promRefs := make(map[string]bool)
+	if writeProm != nil && writeProm.Body != nil {
+		ast.Inspect(writeProm.Body, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				promRefs[sel.Sel.Name] = true
+			}
+			return true
+		})
+	}
+
+	for _, k := range metricKinds {
+		cl := defs[k.defsName]
+		fields := fieldsByKind[k.typeName]
+		if cl == nil {
+			if len(fields) > 0 {
+				report(pass, idx, fields[0].Pos(),
+					"%d %s field(s) on Recorder but no %s table in this package",
+					len(fields), k.typeName, k.defsName)
+			}
+			continue
+		}
+		// Entries carrying //repro:allow metricdefs expose non-field
+		// state and are excluded from the positional count.
+		entries := 0
+		for _, e := range cl.Elts {
+			if !idx.allowed("metricdefs", e.Pos()) {
+				entries++
+			}
+		}
+		if entries != len(fields) {
+			report(pass, idx, cl.Pos(),
+				"%s has %d field-backed entries but Recorder declares %d %s fields — the positional pairing in WriteProm has drifted",
+				k.defsName, entries, len(fields), k.typeName)
+		}
+		for _, name := range fields {
+			if !promRefs[name.Name] && !strings.HasPrefix(name.Name, "_") {
+				report(pass, idx, name.Pos(),
+					"metric field %s is never referenced in WriteProm: it would be registered in %s but exposed with another field's name",
+					name.Name, k.defsName)
+			}
+		}
+	}
+	return nil, nil
+}

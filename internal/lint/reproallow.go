@@ -1,0 +1,44 @@
+package lint
+
+// reproallow lints the lint: the suppression and annotation directives
+// are themselves checked, so an escape hatch can't rot into a blanket
+// mute. //repro:allow must name a real analyzer and carry a non-empty
+// justification after "--"; coldpath/arena-writer/unsafe-shape must
+// carry a justification; unknown //repro: directives are flagged
+// (usually a typo that would otherwise silently disable a check).
+
+import "golang.org/x/tools/go/analysis"
+
+var ReproAllowAnalyzer = &analysis.Analyzer{
+	Name: "reproallow",
+	Doc:  "//repro: directives must be well-formed: known kinds, real analyzer names, mandatory justifications",
+	Run:  runReproAllow,
+}
+
+func runReproAllow(pass *analysis.Pass) (interface{}, error) {
+	idx := collectDirectives(pass)
+	known := make(map[string]bool, len(AnalyzerNames))
+	for _, n := range AnalyzerNames {
+		known[n] = true
+	}
+	for _, d := range idx.all {
+		switch d.kind {
+		case "hotpath", "arena":
+			// marker directives: no argument, no justification needed
+		case "coldpath", "arena-writer", "unsafe-shape":
+			if d.why == "" {
+				pass.Reportf(d.pos, "//repro:%s requires a justification (//repro:%s <why>)", d.kind, d.kind)
+			}
+		case "allow":
+			if !known[d.arg] {
+				pass.Reportf(d.pos, "//repro:allow names unknown analyzer %q (known: hotpath, atomicmix, arenaappend, unsafealias, metricdefs, reproallow)", d.arg)
+			}
+			if d.why == "" {
+				pass.Reportf(d.pos, "//repro:allow requires a justification (//repro:allow <analyzer> -- <why>)")
+			}
+		default:
+			pass.Reportf(d.pos, "unknown directive //repro:%s", d.kind)
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,47 @@
+// Package arenaappend exercises the COW-arena discipline: annotated
+// arena fields may only be mutated inside //repro:arena-writer
+// functions; reads and unannotated fields are unrestricted.
+package arenaappend
+
+type bank struct {
+	// lo is the published comparator arena.
+	//repro:arena
+	lo []uint32
+	// scratch is private working storage, not an arena.
+	scratch []uint32
+}
+
+//repro:arena-writer compile-path publish fixture: appends before the bank escapes
+func (b *bank) compile(vals []uint32) {
+	b.lo = append(b.lo, vals...)
+	b.lo[0] |= 1 // writers may index-assign into slots they relocated
+}
+
+func (b *bank) mutate(v uint32) {
+	b.lo[0] = v // want "indexed-writes arena field lo"
+}
+
+func (b *bank) grow(v uint32) {
+	b.lo = append(b.lo, v) // want "assigns arena field lo" "appends to arena field lo"
+}
+
+func (b *bank) truncate() {
+	b.lo = b.lo[:0] // want "assigns arena field lo"
+}
+
+// read is the false-positive-avoidance case: reads of a published
+// arena are the whole point and never flagged.
+func (b *bank) read(i int) uint32 {
+	return b.lo[i]
+}
+
+// scratchWrite mutates an unannotated field: unrestricted.
+func (b *bank) scratchWrite(v uint32) {
+	b.scratch = append(b.scratch, v)
+	b.scratch[0] = v
+}
+
+func (b *bank) fixture(v uint32) {
+	//repro:allow arenaappend -- builds a private bank that never published
+	b.lo = append(b.lo, v)
+}

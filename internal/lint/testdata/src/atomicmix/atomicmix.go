@@ -1,0 +1,40 @@
+// Package atomicmix exercises the atomic-mixing analyzer: a field
+// touched through address-style sync/atomic calls anywhere must never
+// be accessed plainly; fields never used atomically stay unchecked.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64 // accessed atomically in inc/readAtomic
+	safe uint64 // never accessed atomically: plain use is fine
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) readAtomic() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func (c *counter) read() uint64 {
+	return c.n // want "plain access is a data race"
+}
+
+func (c *counter) reset() {
+	c.n = 0 // want "plain access is a data race"
+}
+
+// readSafe is the false-positive-avoidance case: safe has no atomic
+// history, so plain reads and writes pass.
+func (c *counter) readSafe() uint64 {
+	c.safe++
+	return c.safe
+}
+
+// newCounter shows composite-literal initialization does not trip the
+// analyzer (keyed literals are not selector accesses).
+func newCounter() *counter {
+	return &counter{safe: 1}
+}

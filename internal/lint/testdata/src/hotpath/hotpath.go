@@ -1,0 +1,92 @@
+// Package hotpath exercises the hotpath analyzer: annotated functions
+// and their reachable callees must be allocation-free; blessed idioms
+// (self-append, coldpath exits, allow-listed sampled sites) must not
+// be flagged.
+package hotpath
+
+import "fmt"
+
+//repro:hotpath
+func Classify(pkts []int, out []int) int {
+	n := 0
+	for i, p := range pkts {
+		out[i] = p + decide(p)
+		n++
+	}
+	return n
+}
+
+// decide is clean and reached from a hot root: no diagnostics.
+func decide(p int) int {
+	if p > 0 {
+		return 1
+	}
+	return 0
+}
+
+//repro:hotpath
+func Bad(pkts []int) []int {
+	out := make([]int, len(pkts)) // want "make allocates"
+	for i, p := range pkts {
+		out[i] = format(p)
+	}
+	return out
+}
+
+// format is reached from a hot root and calls into fmt.
+func format(p int) int {
+	s := fmt.Sprintf("%d", p) // want "fmt is banned on hot paths"
+	return len(s)
+}
+
+//repro:hotpath
+func Encode(buf []byte, v byte) []byte {
+	// Amortized pooled-buffer self-append: blessed, not a diagnostic.
+	buf = append(buf, v)
+	return buf
+}
+
+//repro:hotpath
+func Grow(buf, extra []byte) []byte {
+	out := append(extra, buf...) // want "append with capacity growth allocates"
+	return out
+}
+
+//repro:hotpath
+func Warm(n int) int {
+	//repro:allow hotpath -- one-time warm buffer, measured outside the steady state
+	buf := make([]byte, n)
+	return len(buf)
+}
+
+//repro:coldpath error exit, never taken on the packet path
+func fail(op string) error {
+	return fmt.Errorf("hotpath: %s failed", op)
+}
+
+//repro:hotpath
+func WithColdExit(ok bool) error {
+	if !ok {
+		return fail("decode")
+	}
+	return nil
+}
+
+//repro:hotpath
+func Dyn(f func() int) int {
+	return f() // want "dynamic call"
+}
+
+func sink(v interface{}) { _ = v }
+
+//repro:hotpath
+func Box(x int) {
+	sink(x) // want "boxes a int into an interface"
+}
+
+//repro:hotpath
+func Spawn(done chan struct{}) {
+	go func() { // want "go statement spawns a goroutine"
+		<-done
+	}()
+}

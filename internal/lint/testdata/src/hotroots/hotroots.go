@@ -1,0 +1,9 @@
+// Package hotroots exercises the required-roots rule: a contract
+// function listed in requiredHotRoots must carry //repro:hotpath, so
+// deleting the annotation is itself a diagnostic.
+package hotroots
+
+func MustBeHot(x int) int { return x } // want "must carry //repro:hotpath"
+
+//repro:hotpath
+func AlsoHot(x int) int { return x + 1 }

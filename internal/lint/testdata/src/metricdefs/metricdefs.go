@@ -1,0 +1,39 @@
+// Package metricdefs exercises the registry no-drift rule: Recorder
+// metric fields must pair 1:1 with def-table entries (allow-listed
+// pseudo-metrics excluded) and every field must be scraped by
+// WriteProm.
+package metricdefs
+
+import "io"
+
+type Counter struct{ v uint64 }
+type Gauge struct{ v uint64 }
+
+type metricDef struct{ name, help string }
+
+type Recorder struct {
+	Packets Counter
+	Batches Counter
+	Epoch   Gauge
+	Orphan  Counter // want "never referenced in WriteProm"
+}
+
+var counterDefs = []metricDef{ // want "counterDefs has 2 field-backed entries but Recorder declares 3 Counter fields"
+	{"repro_packets_total", "packets classified"},
+	{"repro_batches_total", "batches classified"},
+}
+
+// gaugeDefs is the false-positive-avoidance case: the extra entry is a
+// ring-backed pseudo-gauge excluded from the positional count by an
+// allow, so 1 field == 1 entry.
+var gaugeDefs = []metricDef{
+	{"repro_epoch", "current epoch"},
+	//repro:allow metricdefs -- events gauge reads the ring state, not a Recorder field
+	{"repro_events_total", "events recorded"},
+}
+
+func (r *Recorder) WriteProm(w io.Writer) {
+	_ = r.Packets
+	_ = r.Batches
+	_ = r.Epoch
+}

@@ -1,0 +1,38 @@
+// Package unsafealias exercises the blessed-shape rule: unsafe.Pointer
+// conversions only inside //repro:unsafe-shape functions, with an
+// alignment guard in scope for multi-byte targets.
+package unsafealias
+
+import "unsafe"
+
+//repro:unsafe-shape aliases a uint32 arena over raw bytes with an explicit modulo guard
+func blessed(b []byte) []uint32 {
+	p := unsafe.Pointer(&b[0])
+	if uintptr(p)%4 != 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(p), len(b)/4)
+}
+
+func rogue(b []byte) *uint32 {
+	return (*uint32)(unsafe.Pointer(&b[0])) // want "only //repro:unsafe-shape functions" "only //repro:unsafe-shape functions"
+}
+
+//repro:unsafe-shape deliberately unguarded: the analyzer must demand the modulo check
+func unguarded(p unsafe.Pointer) *uint64 {
+	return (*uint64)(p) // want "without an alignment check in scope"
+}
+
+// byteView is the false-positive-avoidance case: a *byte view has
+// alignment 1 and needs no guard.
+//
+//repro:unsafe-shape byte-granular view, alignment is always satisfied
+func byteView(p unsafe.Pointer) *byte {
+	return (*byte)(p)
+}
+
+//repro:unsafe-shape pointer laundering with a line allow for the missing guard
+func allowed(p unsafe.Pointer) *uint16 {
+	//repro:allow unsafealias -- source pointer produced by an aligned allocator
+	return (*uint16)(p)
+}

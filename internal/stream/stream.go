@@ -505,6 +505,7 @@ func encodeSegments(s *slot, workers int) {
 	wg.Wait()
 }
 
+//repro:hotpath
 func appendIDs(buf []byte, ids []int32) []byte {
 	// Hand-rolled itoa: strconv.AppendInt is ~a quarter of the cached
 	// hot path's CPU at line rate (it re-derives digit counts and

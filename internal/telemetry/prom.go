@@ -31,6 +31,7 @@ var counterDefs = []metricDef{
 	{"repro_stream_reader_stalls_total", "counter", "Decode-stage stalls waiting for a free pipeline slot."},
 	{"repro_stream_writer_stalls_total", "counter", "Classify-stage stalls waiting for the writer to drain."},
 	{"repro_scan_kernel_fallbacks_total", "counter", "Scan-kernel override requests that degraded to the probed default."},
+	//repro:allow metricdefs -- exposed from Ring.seq, the flight recorder's own cursor, not a Recorder Counter field
 	{"repro_events_total", "counter", "Flight-recorder events ever recorded."},
 }
 
@@ -42,6 +43,7 @@ var gaugeDefs = []metricDef{
 	{"repro_cache_occupied", "gauge", "Live flow-cache entries at the last epoch publish."},
 	{"repro_stream_work_queue", "gauge", "Stream work-ring occupancy at the last dispatch."},
 	{"repro_stream_done_queue", "gauge", "Stream done-ring occupancy at the last dispatch."},
+	//repro:allow metricdefs -- computed from ring state (seq minus capacity), not a Recorder Gauge field
 	{"repro_events_dropped_total", "gauge", "Flight-recorder events lost to ring wraparound."},
 }
 

@@ -107,6 +107,8 @@ func histBucket(nanos int64) int {
 // high probability without any runtime hook or per-observation RMW on a
 // shared line. A goroutine whose stack moves simply changes shard —
 // harmless, the merge is a sum.
+//
+//repro:unsafe-shape hashes the probe's stack address into a shard index; the pointer is never dereferenced
 func (h *Hist) Observe(nanos int64) {
 	var probe byte
 	s := &h.shards[(uintptr(unsafe.Pointer(&probe))>>10)&(histShards-1)]

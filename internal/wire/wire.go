@@ -164,6 +164,7 @@ func (rd *Reader) fill(need int) error {
 		return rd.err
 	}
 	if need > len(rd.buf) {
+		//repro:allow hotpath -- cold error exit: fires at most once on malformed input, never on the per-record path
 		return fmt.Errorf("wire: need %d buffered bytes, buffer holds %d", need, len(rd.buf))
 	}
 	if rd.lo > 0 && len(rd.buf)-rd.lo < need {
@@ -172,6 +173,7 @@ func (rd *Reader) fill(need int) error {
 		rd.lo = 0
 	}
 	for rd.avail() < need {
+		//repro:allow hotpath -- the ingest source is an io.Reader by contract; one dynamic call refills a whole buffer
 		n, err := rd.r.Read(rd.buf[rd.hi:])
 		rd.hi += n
 		if err != nil {
@@ -199,21 +201,26 @@ func (rd *Reader) fill(need int) error {
 func (rd *Reader) header() error {
 	if err := rd.fill(HeaderBytes); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			//repro:allow hotpath -- cold error exit: fires at most once on malformed input, never on the per-record path
 			return fmt.Errorf("wire: truncated stream header: %w", io.ErrUnexpectedEOF)
 		}
 		return err
 	}
 	h := rd.buf[rd.lo : rd.lo+HeaderBytes]
 	if !IsMagic(h) {
+		//repro:allow hotpath -- cold error exit: fires at most once on malformed input, never on the per-record path
 		return fmt.Errorf("wire: bad magic %q (not a binary trace)", h[:4])
 	}
 	if h[4] != Version {
+		//repro:allow hotpath -- cold error exit: fires at most once on malformed input, never on the per-record path
 		return fmt.Errorf("wire: unsupported version %d (reader speaks %d)", h[4], Version)
 	}
 	if h[5] != RecordBytes {
+		//repro:allow hotpath -- cold error exit: fires at most once on malformed input, never on the per-record path
 		return fmt.Errorf("wire: record size %d, want %d", h[5], RecordBytes)
 	}
 	if flags := binary.LittleEndian.Uint16(h[6:8]); flags != 0 {
+		//repro:allow hotpath -- cold error exit: fires at most once on malformed input, never on the per-record path
 		return fmt.Errorf("wire: unknown header flags %#x", flags)
 	}
 	rd.lo += HeaderBytes
@@ -226,19 +233,23 @@ func (rd *Reader) header() error {
 func (rd *Reader) frameHeader() error {
 	if err := rd.fill(FrameHeaderBytes); err != nil {
 		if err == io.ErrUnexpectedEOF {
+			//repro:allow hotpath -- cold error exit: fires at most once on malformed input, never on the per-record path
 			return fmt.Errorf("wire: truncated frame header: %w", err)
 		}
 		return err
 	}
 	h := rd.buf[rd.lo : rd.lo+FrameHeaderBytes]
 	if h[0] != frameMarker0 || h[1] != frameMarker1 {
+		//repro:allow hotpath -- cold error exit: fires at most once on malformed input, never on the per-record path
 		return fmt.Errorf("wire: bad frame marker %#02x%02x at stream offset", h[0], h[1])
 	}
 	count := int(binary.LittleEndian.Uint16(h[2:4]))
 	if count == 0 {
+		//repro:allow hotpath -- cold error exit: fires at most once on malformed input, never on the per-record path
 		return fmt.Errorf("wire: empty frame")
 	}
 	if reserved := binary.LittleEndian.Uint32(h[4:8]); reserved != 0 {
+		//repro:allow hotpath -- cold error exit: fires at most once on malformed input, never on the per-record path
 		return fmt.Errorf("wire: nonzero reserved frame field %#x", reserved)
 	}
 	rd.lo += FrameHeaderBytes
@@ -248,6 +259,8 @@ func (rd *Reader) frameHeader() error {
 
 // ReadBatch decodes up to len(pkts) records into pkts, crossing frame
 // boundaries as needed. See BatchReader for the return contract.
+//
+//repro:hotpath
 func (rd *Reader) ReadBatch(pkts []rule.Packet) (int, error) {
 	if len(pkts) == 0 {
 		return 0, nil
@@ -256,6 +269,7 @@ func (rd *Reader) ReadBatch(pkts []rule.Packet) (int, error) {
 		if err := rd.header(); err != nil {
 			if err == io.EOF {
 				// A totally empty stream has no header: malformed.
+				//repro:allow hotpath -- cold error exit: fires at most once on malformed input, never on the per-record path
 				return 0, fmt.Errorf("wire: empty stream: %w", io.ErrUnexpectedEOF)
 			}
 			return 0, err
@@ -281,6 +295,7 @@ func (rd *Reader) ReadBatch(pkts []rule.Packet) (int, error) {
 		if have == 0 {
 			if err := rd.fill(RecordBytes); err != nil {
 				if err == io.ErrUnexpectedEOF || err == io.EOF {
+					//repro:allow hotpath -- cold error exit: fires at most once on malformed input, never on the per-record path
 					return n, fmt.Errorf("wire: truncated record (frame has %d more): %w", rd.rem, io.ErrUnexpectedEOF)
 				}
 				return n, err

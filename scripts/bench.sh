@@ -53,6 +53,19 @@ JSON="${JSON:-BENCH_$(date +%F).json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
+# Invariant gate: never produce a BENCH json from a tree that violates
+# the statically-checked performance contracts (hot-path allocations,
+# arena discipline, atomic mixing — see DESIGN.md §14). pclint failing
+# aborts before a single benchmark runs.
+PCLINT="$(mktemp -u)"
+go build -o "$PCLINT" ./cmd/pclint
+if ! go vet -vettool="$PCLINT" ./...; then
+  rm -f "$PCLINT"
+  echo "bench.sh: pclint found invariant violations; refusing to benchmark this tree" >&2
+  exit 1
+fi
+rm -f "$PCLINT"
+
 go test -run='^$' -bench="$BENCH" -benchmem -count="$COUNT" \
   -benchtime="$TIME" \
   ./internal/engine/ ./internal/hwsim/ ./internal/wire/ \
